@@ -1,0 +1,129 @@
+package cardopc
+
+import (
+	"math"
+	"testing"
+)
+
+// testLitho returns a small imaging config shared by the facade tests.
+func testLitho() LithoConfig {
+	cfg := DefaultLithoConfig()
+	cfg.GridSize = 128
+	cfg.PitchNM = 16
+	return cfg
+}
+
+func TestFacadeGeometry(t *testing.T) {
+	p := P(3, 4)
+	if p.Norm() != 5 {
+		t.Errorf("Pt alias broken: %v", p.Norm())
+	}
+	r := Rect{Min: P(0, 0), Max: P(10, 10)}
+	poly := r.Poly()
+	if poly.Area() != 100 {
+		t.Errorf("Polygon alias broken: %v", poly.Area())
+	}
+}
+
+func TestFacadeSpline(t *testing.T) {
+	ctrl := []Pt{P(0, 0), P(100, 0), P(100, 100), P(0, 100)}
+	c := NewCardinalCurve(ctrl, DefaultTension)
+	if got := c.At(0, 0); got != ctrl[0] {
+		t.Errorf("curve does not interpolate: %v", got)
+	}
+	if Cardinal.String() != "cardinal" || Bezier.String() != "bezier" {
+		t.Error("spline kind aliases broken")
+	}
+}
+
+func TestFacadeConfigs(t *testing.T) {
+	via := ViaConfig()
+	if via.CornerSegLen != 20 || via.UniformSegLen != 30 {
+		t.Errorf("ViaConfig dissection: %v/%v", via.CornerSegLen, via.UniformSegLen)
+	}
+	metal := MetalConfig()
+	if metal.CornerSegLen != 30 || metal.UniformSegLen != 60 {
+		t.Errorf("MetalConfig dissection: %v/%v", metal.CornerSegLen, metal.UniformSegLen)
+	}
+	large := LargeScaleConfig()
+	if large.Iterations != 10 {
+		t.Errorf("LargeScaleConfig iterations: %v", large.Iterations)
+	}
+	if via.Tension != DefaultTension {
+		t.Errorf("tension: %v", via.Tension)
+	}
+	seg := SegLargeConfig()
+	if seg.Iterations != 20 {
+		t.Errorf("SegLargeConfig iterations: %v", seg.Iterations)
+	}
+	if SegViaConfig().SRAF.Enable != true {
+		t.Error("via baseline should insert SRAFs")
+	}
+	if SegMetalConfig().SRAF.Enable {
+		t.Error("metal baseline should not insert SRAFs")
+	}
+}
+
+func TestFacadeLayouts(t *testing.T) {
+	if got := ViaClip(1).Name; got != "V1" {
+		t.Errorf("ViaClip name: %v", got)
+	}
+	if got := MetalClip(10).TotalPoints(); got != 120 {
+		t.Errorf("MetalClip(10) points: %v", got)
+	}
+	if got := LargeDesign("aes").TileCount; got != 144 {
+		t.Errorf("aes tiles: %v", got)
+	}
+}
+
+func TestFacadeImagingAndMetrics(t *testing.T) {
+	sim := NewSimulator(testLitho())
+	target := Rect{Min: P(880, 880), Max: P(1180, 1180)}.Poly()
+	mask := Rasterize(sim.Grid(), []Polygon{target}, 4)
+	aerial := sim.Aerial(mask)
+	centre := aerial.Bilinear(P(1024, 1024))
+	if centre <= testLitho().Threshold {
+		t.Errorf("feature centre does not print: I=%v", centre)
+	}
+	probes := Probes([]Polygon{target}, 0)
+	if len(probes) != 4 {
+		t.Fatalf("probes: %d", len(probes))
+	}
+	res := MeasureEPE(aerial, probes, DefaultEPEConfig(testLitho().Threshold))
+	if math.IsNaN(res.SumAbs) {
+		t.Error("EPE is NaN")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end flow")
+	}
+	sim := NewSimulator(testLitho())
+	target := Rect{Min: P(944, 944), Max: P(1104, 1104)}.Poly()
+	cfg := ViaConfig()
+	cfg.Iterations = 8
+	cfg.DecayAt = nil
+	cfg.SRAF.Enable = false
+
+	res := Optimize(sim, []Polygon{target}, cfg)
+	if res.Iterations != 8 {
+		t.Errorf("iterations: %d", res.Iterations)
+	}
+	if res.Mask.NumControlPoints() == 0 {
+		t.Fatal("no control points")
+	}
+	// MRC over the result.
+	checker := NewMRCChecker(res.Mask, DefaultMRCRules())
+	_ = checker.Check() // must not panic; violations allowed
+}
+
+func TestFacadeProcess(t *testing.T) {
+	proc := NewProcess(testLitho())
+	if proc.Nominal == nil || proc.Inner == nil || proc.Outer == nil {
+		t.Fatal("process corners missing")
+	}
+	if proc.Outer.Config().Dose <= proc.Nominal.Config().Dose {
+		t.Error("outer corner should over-expose")
+	}
+}

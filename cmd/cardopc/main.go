@@ -1,0 +1,186 @@
+// Command cardopc runs the CardOPC curvilinear OPC flow on a layout clip
+// and reports EPE/PVB/L2, optionally writing the corrected mask as a clip
+// file and an SVG snapshot.
+//
+// Usage:
+//
+//	cardopc -case V3                 # built-in testcase (V1..V13, M1..M10)
+//	cardopc -in clip.txt -svg out.svg -out mask.txt
+//	cardopc -case M2 -layer metal -iters 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cardopc/internal/cli"
+	"cardopc/internal/core"
+	"cardopc/internal/fracture"
+	"cardopc/internal/gds"
+	"cardopc/internal/geom"
+	"cardopc/internal/layout"
+	"cardopc/internal/litho"
+	"cardopc/internal/metrics"
+	"cardopc/internal/orc"
+	"cardopc/internal/raster"
+	"cardopc/internal/render"
+	"cardopc/internal/spline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cardopc: ")
+
+	var (
+		caseName = flag.String("case", "", "built-in testcase name (V1..V13, M1..M10)")
+		inPath   = flag.String("in", "", "input clip file (see internal/layout format)")
+		outPath  = flag.String("out", "", "write the corrected mask as a clip file")
+		svgPath  = flag.String("svg", "", "write an SVG snapshot of target/mask/contour")
+		layer    = flag.String("layer", "", "config preset: via, metal or large (default: by case name)")
+		iters    = flag.Int("iters", 0, "override iteration count")
+		gridSize = flag.Int("grid", 512, "simulation raster size (power of two)")
+		pitch    = flag.Float64("pitch", 4, "raster pitch in nm")
+		bezier   = flag.Bool("bezier", false, "use Bézier splines (ablation mode)")
+		gdsPath  = flag.String("gds", "", "write the corrected mask as a GDSII file")
+		shots    = flag.Bool("shots", false, "print VSB fracturing statistics for the mask")
+		runORC   = flag.Bool("orc", false, "run lithography rule checking across the process corners")
+	)
+	flag.Parse()
+
+	clip, err := cli.LoadClip(*caseName, *inPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := pickConfig(*layer, clip.Name)
+	if *iters > 0 {
+		cfg.Iterations = *iters
+		cfg.DecayAt = []int{*iters / 2}
+	}
+	if *bezier {
+		cfg.Spline = spline.Bezier
+	}
+
+	lcfg := litho.DefaultConfig()
+	lcfg.GridSize = *gridSize
+	lcfg.PitchNM = *pitch
+	proc := litho.NewProcess(lcfg, litho.DefaultCorners())
+
+	fmt.Printf("testcase %s: %d target shapes, %d points\n", clip.Name, len(clip.Targets), clip.TotalPoints())
+	res := core.Optimize(proc.Nominal, clip.Targets, cfg)
+	fmt.Printf("optimised %d control points over %d iterations (spline: %v)\n",
+		res.Mask.NumControlPoints(), res.Iterations, cfg.Spline)
+
+	polys := res.Mask.Polygons(cfg.SamplesPerSeg)
+	report(proc, polys, clip.Targets, cfg.ProbeSpacing)
+
+	if *outPath != "" {
+		if err := writeMaskClip(*outPath, clip, polys); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("mask written to %s\n", *outPath)
+	}
+	if *svgPath != "" {
+		if err := writeSVG(*svgPath, proc.Nominal, clip, polys); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot written to %s\n", *svgPath)
+	}
+	if *gdsPath != "" {
+		f, err := os.Create(*gdsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lib := gds.NewLibrary("CARDOPC_"+clip.Name, polys)
+		if err := lib.Write(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("GDSII written to %s (%d boundaries)\n", *gdsPath, len(polys))
+	}
+	if *shots {
+		_, st := fracture.FractureAll(polys, fracture.DefaultOptions())
+		fmt.Printf("VSB shots: %d (%d rects), area %.0f nm², min band %.2f nm\n",
+			st.Shots, st.Rects, st.Area, st.MinHeight)
+	}
+	if *runORC {
+		defects := orc.Verify(proc, polys, clip.Targets, orc.DefaultConfig())
+		counts := orc.Count(defects)
+		fmt.Printf("ORC: %d defects (bridge %d, neck %d, missing %d, extra %d)\n",
+			len(defects), counts[orc.Bridge], counts[orc.Neck], counts[orc.Missing], counts[orc.Extra])
+		for _, d := range defects {
+			fmt.Printf("  %v\n", d)
+		}
+	}
+}
+
+// pickConfig chooses the experiment preset.
+func pickConfig(layer, caseName string) core.Config {
+	switch layer {
+	case "via":
+		return core.ViaConfig()
+	case "metal":
+		return core.MetalConfig()
+	case "large":
+		return core.LargeScaleConfig()
+	case "":
+		if strings.HasPrefix(strings.ToUpper(caseName), "M") {
+			return core.MetalConfig()
+		}
+		return core.ViaConfig()
+	default:
+		log.Fatalf("unknown layer %q (want via, metal or large)", layer)
+		return core.Config{}
+	}
+}
+
+// report prints the metric suite for the final mask.
+func report(proc *litho.Process, maskPolys, targets []geom.Polygon, spacing float64) {
+	g := proc.Nominal.Grid()
+	mask := raster.Rasterize(g, maskPolys, 4)
+	mf := litho.MaskFreq(mask)
+	nomA, innerA, outerA := proc.AerialAllFromFreq(mf)
+	ith := proc.Nominal.Config().Threshold
+
+	probes := metrics.ProbesForLayout(targets, spacing)
+	epe := metrics.MeasureEPE(nomA, probes, metrics.DefaultEPEConfig(ith))
+	tgt := raster.Rasterize(g, targets, 2).Threshold(0.5)
+	nomB := nomA.Threshold(ith)
+	pvb := metrics.PVB(nomB,
+		innerA.Threshold(proc.Inner.Config().Threshold),
+		outerA.Threshold(proc.Outer.Config().Threshold))
+
+	fmt.Printf("EPE:  sum %.2f nm over %d probes (%d violations > %g nm)\n",
+		epe.SumAbs, len(probes), epe.Violations, metrics.DefaultEPEConfig(ith).ThresholdNM)
+	fmt.Printf("PVB:  %.1f nm²\n", pvb)
+	fmt.Printf("L2:   %d px (%.1f nm²)\n", metrics.L2(nomB, tgt), metrics.L2Area(nomB, tgt))
+}
+
+// writeMaskClip stores the corrected mask in the clip text format.
+func writeMaskClip(path string, clip layout.Clip, polys []geom.Polygon) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	out := layout.Clip{Name: clip.Name + "_mask", SizeNM: clip.SizeNM, Targets: polys}
+	return layout.WriteClip(f, out)
+}
+
+// writeSVG renders target, mask and printed contour.
+func writeSVG(path string, sim *litho.Simulator, clip layout.Clip, polys []geom.Polygon) error {
+	mask := raster.Rasterize(sim.Grid(), polys, 4)
+	contours := sim.Contours(mask)
+	view := geom.RectOf(geom.P(0, 0), geom.P(clip.SizeNM, clip.SizeNM))
+	c := render.NewCanvas(view, 800)
+	c.Add("mask", polys, render.MaskStyle)
+	c.Add("target", clip.Targets, render.TargetStyle)
+	c.Add("contour", contours, render.ContourStyle)
+	return c.WriteFile(path)
+}

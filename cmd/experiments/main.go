@@ -1,0 +1,181 @@
+// Command experiments regenerates the paper's tables and figures against
+// this repository's implementations (see DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	experiments -table 1            # Table I (via layer)
+//	experiments -table 2 -full      # Table II at paper fidelity
+//	experiments -table 3
+//	experiments -fig 6 -outdir figs # SVG examples
+//	experiments -fig 7              # hybrid comparison
+//	experiments -ablation           # cardinal vs Bézier
+//	experiments -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"cardopc/internal/core"
+	"cardopc/internal/exp"
+	"cardopc/internal/fit"
+	"cardopc/internal/geom"
+	"cardopc/internal/ilt"
+	"cardopc/internal/layout"
+	"cardopc/internal/litho"
+	"cardopc/internal/mrc"
+	"cardopc/internal/raster"
+	"cardopc/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		table    = flag.Int("table", 0, "regenerate Table 1, 2 or 3")
+		fig      = flag.Int("fig", 0, "regenerate Fig 6 (SVGs) or Fig 7")
+		ablation = flag.Bool("ablation", false, "regenerate the §IV-D spline ablation")
+		cost     = flag.Bool("cost", false, "extension: VSB shot count vs EPE trade-off")
+		pwindow  = flag.Bool("pwindow", false, "extension: exposure-defocus process windows")
+		tension  = flag.Bool("tension", false, "extension: cardinal tension sweep")
+		all      = flag.Bool("all", false, "run every experiment")
+		full     = flag.Bool("full", false, "paper-fidelity settings (slow) instead of fast settings")
+		clips    = flag.Int("clips", 0, "limit testcases per table (0 = option default)")
+		outdir   = flag.String("outdir", ".", "directory for Fig 6 SVGs")
+		grid     = flag.Int("grid", 0, "override raster size")
+		pitch    = flag.Float64("pitch", 0, "override raster pitch (nm)")
+		iltIters = flag.Int("iltiters", 0, "override pixel-ILT iterations")
+		iters    = flag.Int("iters", 0, "override OPC iterations")
+	)
+	flag.Parse()
+
+	opts := exp.Fast()
+	if *full {
+		opts = exp.Full()
+	}
+	if *clips > 0 {
+		opts.Clips = *clips
+	} else if *full {
+		opts.Clips = 0
+	}
+	if *grid > 0 {
+		opts.GridSize = *grid
+	}
+	if *pitch > 0 {
+		opts.PitchNM = *pitch
+	}
+	if *iltIters > 0 {
+		opts.ILTIterations = *iltIters
+	}
+	if *iters > 0 {
+		opts.Iterations = *iters
+	}
+
+	ran := false
+	if *all || *table == 1 {
+		exp.Table1(opts).Fprint(os.Stdout)
+		ran = true
+	}
+	if *all || *table == 2 {
+		exp.Table2(opts).Fprint(os.Stdout)
+		ran = true
+	}
+	if *all || *table == 3 {
+		exp.Table3(opts).Fprint(os.Stdout)
+		ran = true
+	}
+	if *all || *fig == 6 {
+		if err := fig6(opts, *outdir); err != nil {
+			log.Fatal(err)
+		}
+		ran = true
+	}
+	if *all || *fig == 7 {
+		exp.Fig7(opts).Fprint(os.Stdout)
+		ran = true
+	}
+	if *all || *ablation {
+		exp.AblationSpline(opts).Fprint(os.Stdout)
+		ran = true
+	}
+	if *all || *cost {
+		exp.MaskCost(opts).Fprint(os.Stdout)
+		ran = true
+	}
+	if *all || *pwindow {
+		exp.ProcessWindowTable(opts).Fprint(os.Stdout)
+		ran = true
+	}
+	if *all || *tension {
+		exp.AblationTension(opts, nil).Fprint(os.Stdout)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// fig6 writes the four example snapshots of the paper's Fig. 6:
+// (a) via-layer OPC, (b) metal-layer OPC, (c) large-scale OPC,
+// (d) the ILT-OPC hybrid.
+func fig6(opts exp.Options, outdir string) error {
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	lcfg := litho.DefaultConfig()
+	if opts.GridSize > 0 {
+		lcfg.GridSize = opts.GridSize
+	}
+	if opts.PitchNM > 0 {
+		lcfg.PitchNM = opts.PitchNM
+	}
+	sim := litho.NewSimulator(lcfg)
+
+	snap := func(name string, clip layout.Clip, polys []geom.Polygon) error {
+		view := geom.RectOf(geom.P(0, 0), geom.P(clip.SizeNM, clip.SizeNM))
+		c := render.NewCanvas(view, 800)
+		c.Add("mask", polys, render.MaskStyle)
+		c.Add("target", clip.Targets, render.TargetStyle)
+		mask := raster.Rasterize(sim.Grid(), polys, 4)
+		c.Add("contour", sim.Contours(mask), render.ContourStyle)
+		path := filepath.Join(outdir, name)
+		if err := c.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
+	}
+
+	// (a) via-layer OPC.
+	via := layout.ViaClip(3)
+	viaRes := core.Optimize(sim, via.Targets, core.ViaConfig())
+	if err := snap("fig6a_via.svg", via, viaRes.Mask.Polygons(8)); err != nil {
+		return err
+	}
+	// (b) metal-layer OPC.
+	metal := layout.MetalClip(1)
+	metalRes := core.Optimize(sim, metal.Targets, core.MetalConfig())
+	if err := snap("fig6b_metal.svg", metal, metalRes.Mask.Polygons(8)); err != nil {
+		return err
+	}
+	// (c) large-scale OPC (one gcd tile).
+	tile := layout.LargeDesign("gcd").Tiles[0]
+	tileRes := core.Optimize(sim, tile.Targets, core.LargeScaleConfig())
+	if err := snap("fig6c_gcd.svg", tile, tileRes.Mask.Polygons(8)); err != nil {
+		return err
+	}
+	// (d) ILT-OPC hybrid.
+	iltCfg := ilt.DefaultConfig()
+	if opts.ILTIterations > 0 {
+		iltCfg.Iterations = opts.ILTIterations
+	}
+	hclip := layout.MetalClip(8)
+	hy := exp.Hybrid(sim, hclip.Targets, iltCfg, fit.DefaultConfig(), mrc.HybridRules())
+	return snap("fig6d_hybrid.svg", hclip, hy.Mask.Polygons(8))
+}

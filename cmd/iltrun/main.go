@@ -1,0 +1,105 @@
+// Command iltrun optimises a pixel ILT mask for a layout clip, optionally
+// fitting the result with cardinal splines (Algorithm 1) and resolving MRC
+// violations — the ILT–OPC hybrid flow of the paper's §III-G.
+//
+// Usage:
+//
+//	iltrun -case M1 -iters 150
+//	iltrun -case M2 -fit -svg hybrid.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cardopc/internal/cli"
+	"cardopc/internal/exp"
+	"cardopc/internal/fit"
+	"cardopc/internal/geom"
+	"cardopc/internal/ilt"
+	"cardopc/internal/layout"
+	"cardopc/internal/litho"
+	"cardopc/internal/metrics"
+	"cardopc/internal/mrc"
+	"cardopc/internal/raster"
+	"cardopc/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iltrun: ")
+
+	var (
+		caseName = flag.String("case", "", "built-in testcase name (V1..V13, M1..M10)")
+		inPath   = flag.String("in", "", "input clip file")
+		iters    = flag.Int("iters", 150, "ILT iterations")
+		doFit    = flag.Bool("fit", false, "fit the ILT mask with splines + resolve MRC (hybrid flow)")
+		svgPath  = flag.String("svg", "", "write an SVG snapshot")
+		gridSize = flag.Int("grid", 512, "raster size (power of two)")
+		pitch    = flag.Float64("pitch", 4, "raster pitch in nm")
+	)
+	flag.Parse()
+
+	clip, err := cli.LoadClip(*caseName, *inPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lcfg := litho.DefaultConfig()
+	lcfg.GridSize = *gridSize
+	lcfg.PitchNM = *pitch
+	sim := litho.NewSimulator(lcfg)
+	g := sim.Grid()
+
+	target := raster.Rasterize(g, clip.Targets, 2)
+	for i, v := range target.Data {
+		if v >= 0.5 {
+			target.Data[i] = 1
+		} else {
+			target.Data[i] = 0
+		}
+	}
+
+	iltCfg := ilt.DefaultConfig()
+	iltCfg.Iterations = *iters
+
+	if !*doFit {
+		res := ilt.Run(sim, target, iltCfg)
+		printed := sim.Aerial(res.Mask).Threshold(lcfg.Threshold)
+		fmt.Printf("%s: ILT loss %.1f after %d iterations, L2 %d px\n",
+			clip.Name, res.Loss, *iters, metrics.L2(printed, target.Threshold(0.5)))
+		if *svgPath != "" {
+			writeSnapshot(*svgPath, sim, clip, raster.MarchingSquares(res.Mask, 0.5))
+		}
+		return
+	}
+
+	hy := exp.Hybrid(sim, clip.Targets, iltCfg, fit.DefaultConfig(), mrc.DefaultRules())
+	polys := hy.Mask.Polygons(8)
+	mask := raster.Rasterize(g, polys, 4)
+	printed := sim.Aerial(mask).Threshold(lcfg.Threshold)
+	probes := metrics.ProbesForLayout(clip.Targets, 40)
+	epe := metrics.MeasureEPE(sim.Aerial(mask), probes, metrics.DefaultEPEConfig(lcfg.Threshold))
+	fmt.Printf("%s: hybrid mask with %d shapes (%d control points)\n",
+		clip.Name, len(hy.Mask.Shapes), hy.Mask.NumControlPoints())
+	fmt.Printf("MRC: %d -> %d violations (%d specks removed)\n", hy.MRCBefore, hy.MRCAfter, hy.Removed)
+	fmt.Printf("L2 %d px, EPE violations %d\n",
+		metrics.L2(printed, target.Threshold(0.5)), epe.Violations)
+	if *svgPath != "" {
+		writeSnapshot(*svgPath, sim, clip, polys)
+	}
+}
+
+func writeSnapshot(path string, sim *litho.Simulator, clip layout.Clip, polys []geom.Polygon) {
+	view := geom.RectOf(geom.P(0, 0), geom.P(clip.SizeNM, clip.SizeNM))
+	c := render.NewCanvas(view, 800)
+	c.Add("mask", polys, render.MaskStyle)
+	c.Add("target", clip.Targets, render.TargetStyle)
+	mask := raster.Rasterize(sim.Grid(), polys, 4)
+	c.Add("contour", sim.Contours(mask), render.ContourStyle)
+	if err := c.WriteFile(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot written to %s\n", path)
+}

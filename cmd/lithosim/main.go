@@ -1,0 +1,81 @@
+// Command lithosim images a layout clip through the Hopkins lithography
+// model and reports how the drawn (uncorrected) patterns print: EPE, PVB,
+// L2 and printed contours.
+//
+// Usage:
+//
+//	lithosim -case V1
+//	lithosim -in clip.txt -svg printed.svg -corners
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cardopc/internal/cli"
+	"cardopc/internal/geom"
+	"cardopc/internal/litho"
+	"cardopc/internal/metrics"
+	"cardopc/internal/raster"
+	"cardopc/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lithosim: ")
+
+	var (
+		caseName = flag.String("case", "", "built-in testcase name (V1..V13, M1..M10)")
+		inPath   = flag.String("in", "", "input clip file")
+		svgPath  = flag.String("svg", "", "write an SVG of target vs printed contour")
+		gridSize = flag.Int("grid", 512, "raster size (power of two)")
+		pitch    = flag.Float64("pitch", 4, "raster pitch in nm")
+		corners  = flag.Bool("corners", false, "also image the process-window corners (PVB)")
+		defocus  = flag.Float64("defocus", 0, "defocus in nm")
+		dose     = flag.Float64("dose", 1, "relative exposure dose")
+	)
+	flag.Parse()
+
+	clip, err := cli.LoadClip(*caseName, *inPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lcfg := litho.DefaultConfig()
+	lcfg.GridSize = *gridSize
+	lcfg.PitchNM = *pitch
+	lcfg.DefocusNM = *defocus
+	lcfg.Dose = *dose
+
+	sim := litho.NewSimulator(lcfg)
+	fmt.Printf("testcase %s: %d shapes over %.0f nm, %d SOCS kernels\n",
+		clip.Name, len(clip.Targets), clip.SizeNM, sim.NumKernels())
+	mask := raster.Rasterize(sim.Grid(), clip.Targets, 4)
+	aerial := sim.Aerial(mask)
+	ith := lcfg.Threshold
+
+	probes := metrics.ProbesForLayout(clip.Targets, 60)
+	epe := metrics.MeasureEPE(aerial, probes, metrics.DefaultEPEConfig(ith))
+	tgt := mask.Threshold(0.5)
+	printed := aerial.Threshold(ith)
+	fmt.Printf("EPE: sum %.2f nm over %d probes (%d violations)\n", epe.SumAbs, len(probes), epe.Violations)
+	fmt.Printf("L2:  %d px (%.1f nm²)\n", metrics.L2(printed, tgt), metrics.L2Area(printed, tgt))
+
+	if *corners {
+		proc := litho.NewProcess(lcfg, litho.DefaultCorners())
+		nom, inner, outer := proc.PrintedAll(mask)
+		fmt.Printf("PVB: %.1f nm²\n", metrics.PVB(nom, inner, outer))
+	}
+
+	if *svgPath != "" {
+		view := geom.RectOf(geom.P(0, 0), geom.P(clip.SizeNM, clip.SizeNM))
+		c := render.NewCanvas(view, 800)
+		c.Add("target", clip.Targets, render.TargetStyle)
+		c.Add("contour", raster.MarchingSquares(aerial, ith), render.ContourStyle)
+		if err := c.WriteFile(*svgPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot written to %s\n", *svgPath)
+	}
+}

@@ -1,0 +1,115 @@
+// Command mrccheck runs curvilinear mask rule checking over a mask clip
+// (each polygon is interpreted as a cardinal-spline control loop), reports
+// per-rule violation counts and optionally resolves them.
+//
+// Usage:
+//
+//	mrccheck -in mask.txt
+//	mrccheck -in mask.txt -resolve -out clean.txt
+//	mrccheck -in mask.txt -space 50 -width 50 -area 2000 -radius 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cardopc/internal/core"
+	"cardopc/internal/geom"
+	"cardopc/internal/layout"
+	"cardopc/internal/mrc"
+	"cardopc/internal/spline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mrccheck: ")
+
+	var (
+		inPath  = flag.String("in", "", "input mask clip file (polygons = control loops)")
+		outPath = flag.String("out", "", "write the resolved mask clip")
+		resolve = flag.Bool("resolve", false, "attempt to resolve violations")
+		remove  = flag.Bool("remove-area", false, "delete area-rule violators instead of keeping them")
+		space   = flag.Float64("space", 0, "override C_space (nm)")
+		width   = flag.Float64("width", 0, "override C_width (nm)")
+		area    = flag.Float64("area", 0, "override C_area (nm²)")
+		radius  = flag.Float64("radius", 0, "override the minimum curvature radius (nm)")
+		lu      = flag.Float64("lu", 30, "control-point spacing when re-sampling polygons (nm)")
+		verbose = flag.Bool("v", false, "list every violation")
+	)
+	flag.Parse()
+
+	if *inPath == "" {
+		log.Fatal("need -in (a clip file; each polygon becomes a control loop)")
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clip, err := layout.ReadClip(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rules := mrc.DefaultRules()
+	if *space > 0 {
+		rules.SpaceNM = *space
+	}
+	if *width > 0 {
+		rules.WidthNM = *width
+	}
+	if *area > 0 {
+		rules.AreaNM2 = *area
+	}
+	if *radius > 0 {
+		rules.CurvPerNM = 1 / *radius
+	}
+
+	mask := &core.Mask{}
+	for _, p := range clip.Targets {
+		ctrl := core.UniformControlPoints(p, *lu)
+		mask.Shapes = append(mask.Shapes, core.NewShape(ctrl, spline.Cardinal, spline.DefaultTension, false))
+	}
+
+	checker := mrc.NewChecker(mask, rules)
+	vs := checker.Check()
+	counts := mrc.Count(vs)
+	fmt.Printf("%s: %d shapes, %d violations (spacing %d, width %d, area %d, curvature %d)\n",
+		clip.Name, len(mask.Shapes), len(vs),
+		counts[mrc.Spacing], counts[mrc.Width], counts[mrc.Area], counts[mrc.Curvature])
+	if *verbose {
+		for _, v := range vs {
+			fmt.Printf("  %v\n", v)
+		}
+	}
+
+	if *resolve {
+		opt := mrc.DefaultResolveOptions()
+		opt.RemoveAreaViolators = *remove
+		res := checker.Resolve(opt)
+		fmt.Printf("resolve: %d -> %d violations in %d passes (%d shapes removed)\n",
+			res.Before, res.After, res.Passes, res.Removed)
+	}
+
+	if *outPath != "" {
+		out := layout.Clip{Name: clip.Name + "_mrc", SizeNM: clip.SizeNM}
+		for _, s := range mask.Shapes {
+			out.Targets = append(out.Targets, s.PolyCopy(8))
+		}
+		g, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := layout.WriteClip(g, out); err != nil {
+			g.Close()
+			log.Fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("mask written to %s\n", *outPath)
+	}
+	_ = geom.Pt{}
+}

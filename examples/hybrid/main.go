@@ -1,0 +1,64 @@
+// ILT–OPC hybrid flow (paper §III-G): pixel ILT, cardinal-spline fitting of
+// the free-form ILT mask (Algorithm 1), and MRC violation resolving — the
+// flow behind the paper's Fig. 7 comparison.
+//
+// Run with:
+//
+//	go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+
+	"cardopc"
+)
+
+func main() {
+	lcfg := cardopc.DefaultLithoConfig()
+	lcfg.GridSize = 256
+	lcfg.PitchNM = 8
+	sim := cardopc.NewSimulator(lcfg)
+
+	clip := cardopc.MetalClip(9)
+	fmt.Printf("testcase %s: %d wires\n", clip.Name, len(clip.Targets))
+
+	// Stage 1+2+3 in one call: ILT, Algorithm 1 fitting, MRC resolve.
+	iltCfg := cardopc.DefaultILTConfig()
+	iltCfg.Iterations = 60 // demo budget; the experiments use 150
+	hy := cardopc.Hybrid(sim, clip.Targets, iltCfg,
+		cardopc.DefaultFitConfig(), cardopc.HybridMRCRules())
+
+	fmt.Printf("ILT final loss: %.1f\n", hy.ILTLoss)
+	fmt.Printf("fitted %d spline shapes (%d control points)\n",
+		len(hy.Mask.Shapes), hy.Mask.NumControlPoints())
+	fmt.Printf("MRC: %d violations before resolving, %d after (%d specks removed)\n",
+		hy.MRCBefore, hy.MRCAfter, hy.Removed)
+
+	// Compare the hybrid's print fidelity with the drawn mask.
+	tgt := cardopc.Rasterize(sim.Grid(), clip.Targets, 2)
+	probes := cardopc.Probes(clip.Targets, 40)
+	mcfg := cardopc.DefaultEPEConfig(lcfg.Threshold)
+
+	drawnEPE := cardopc.MeasureEPE(sim.Aerial(tgt), probes, mcfg)
+	hybridMask := cardopc.Rasterize(sim.Grid(), hy.Mask.Polygons(8), 4)
+	hybridEPE := cardopc.MeasureEPE(sim.Aerial(hybridMask), probes, mcfg)
+
+	fmt.Printf("EPE violations: drawn %d -> hybrid %d (over %d probes)\n",
+		drawnEPE.Violations, hybridEPE.Violations, len(probes))
+
+	// The hybrid mask is manufacturable *and* curvilinear: every shape is
+	// a closed cardinal-spline loop, so its curvature is analytic.
+	if len(hy.Mask.Shapes) > 0 {
+		loop := hy.Mask.Shapes[0].Loop()
+		kmax := 0.0
+		for i := 0; i < loop.Segments(); i++ {
+			for _, t := range []float64{0, 0.25, 0.5, 0.75} {
+				if k := loop.Curvature(i, t); k > kmax {
+					kmax = k
+				}
+			}
+		}
+		fmt.Printf("max curvature of first shape: %.4f 1/nm (min radius %.1f nm)\n",
+			kmax, 1/kmax)
+	}
+}

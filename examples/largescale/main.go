@@ -1,0 +1,59 @@
+// Large-scale OPC: tile a standard-cell-style design and run CardOPC vs the
+// Manhattan segment baseline on each tile — the workload of the paper's
+// Table III (§IV-B), one design here.
+//
+// Run with:
+//
+//	go run ./examples/largescale
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cardopc"
+)
+
+func main() {
+	lcfg := cardopc.DefaultLithoConfig()
+	lcfg.GridSize = 256
+	lcfg.PitchNM = 8
+	sim := cardopc.NewSimulator(lcfg)
+
+	design := cardopc.LargeDesign("gcd")
+	fmt.Printf("design %s: %d tile(s), %d distinct variant(s)\n",
+		design.Name, design.TileCount, len(design.Tiles))
+
+	cardCfg := cardopc.LargeScaleConfig() // 10 iterations, decay at 8
+	segCfg := cardopc.SegLargeConfig()    // 20-iteration segment baseline
+
+	var cardViol, segViol int
+	var cardTime, segTime time.Duration
+	for _, tile := range design.Tiles {
+		fmt.Printf("tile %s: %d polygons\n", tile.Name, len(tile.Targets))
+		probes := cardopc.Probes(tile.Targets, 60)
+		mcfg := cardopc.DefaultEPEConfig(lcfg.Threshold)
+
+		start := time.Now()
+		seg := cardopc.SegmentOPC(sim, tile.Targets, segCfg)
+		segTime += time.Since(start)
+		segMask := cardopc.Rasterize(sim.Grid(), seg.MaskPolys, 4)
+		segEPE := cardopc.MeasureEPE(sim.Aerial(segMask), probes, mcfg)
+		segViol += segEPE.Violations
+
+		start = time.Now()
+		card := cardopc.Optimize(sim, tile.Targets, cardCfg)
+		cardTime += time.Since(start)
+		cardMask := cardopc.Rasterize(sim.Grid(), card.Mask.Polygons(cardCfg.SamplesPerSeg), 4)
+		cardEPE := cardopc.MeasureEPE(sim.Aerial(cardMask), probes, mcfg)
+		cardViol += cardEPE.Violations
+
+		fmt.Printf("  segment OPC: %d EPE violations (Σ %.0f nm)\n", segEPE.Violations, segEPE.SumAbs)
+		fmt.Printf("  CardOPC:     %d EPE violations (Σ %.0f nm)\n", cardEPE.Violations, cardEPE.SumAbs)
+	}
+
+	fmt.Printf("\ntotals over %d variant(s): segment %d violations in %s, CardOPC %d in %s\n",
+		len(design.Tiles), segViol, segTime.Round(time.Millisecond),
+		cardViol, cardTime.Round(time.Millisecond))
+	fmt.Println("(Table III scales variant averages by the design's full tile count)")
+}

@@ -1,0 +1,56 @@
+// Metal-layer OPC with mask rule checking — the Table II workload followed
+// by the curvilinear MRC pass (paper §III-F).
+//
+// Run with:
+//
+//	go run ./examples/metalopc
+package main
+
+import (
+	"fmt"
+
+	"cardopc"
+)
+
+func main() {
+	lcfg := cardopc.DefaultLithoConfig()
+	lcfg.GridSize = 256
+	lcfg.PitchNM = 8
+	sim := cardopc.NewSimulator(lcfg)
+
+	// Testcase M8 (24 polygon points, the smallest Table II clip).
+	clip := cardopc.MetalClip(8)
+	fmt.Printf("testcase %s: %d wires, %d points\n",
+		clip.Name, len(clip.Targets), clip.TotalPoints())
+
+	// Metal preset: l_c=30, l_u=60, EPE probes every 60 nm.
+	cfg := cardopc.MetalConfig()
+	res := cardopc.Optimize(sim, clip.Targets, cfg)
+
+	maskPolys := res.Mask.Polygons(cfg.SamplesPerSeg)
+	mask := cardopc.Rasterize(sim.Grid(), maskPolys, 4)
+	probes := cardopc.Probes(clip.Targets, 60)
+	epe := cardopc.MeasureEPE(sim.Aerial(mask), probes, cardopc.DefaultEPEConfig(lcfg.Threshold))
+	fmt.Printf("EPE after OPC: %.1f nm over %d probes (%d violations)\n",
+		epe.SumAbs, len(probes), epe.Violations)
+
+	// Mask rule checking over the curvilinear result: width, space, area
+	// and the analytic spline-curvature rule.
+	rules := cardopc.DefaultMRCRules()
+	checker := cardopc.NewMRCChecker(res.Mask, rules)
+	violations := checker.Check()
+	fmt.Printf("MRC: %d violations at space>=%.0f width>=%.0f area>=%.0f r>=%.0f nm\n",
+		len(violations), rules.SpaceNM, rules.WidthNM, rules.AreaNM2, 1/rules.CurvPerNM)
+
+	if len(violations) > 0 {
+		// Resolve them geometrically (Fig. 5b–d strategies).
+		resolveRes := checker.Resolve(cardopc.DefaultMRCResolveOptions())
+		fmt.Printf("resolved: %d -> %d violations in %d passes\n",
+			resolveRes.Before, resolveRes.After, resolveRes.Passes)
+
+		// Re-measure after resolving: MRC repairs should barely move EPE.
+		mask2 := cardopc.Rasterize(sim.Grid(), res.Mask.Polygons(cfg.SamplesPerSeg), 4)
+		epe2 := cardopc.MeasureEPE(sim.Aerial(mask2), probes, cardopc.DefaultEPEConfig(lcfg.Threshold))
+		fmt.Printf("EPE after MRC resolve: %.1f nm\n", epe2.SumAbs)
+	}
+}

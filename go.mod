@@ -1,0 +1,3 @@
+module cardopc
+
+go 1.22

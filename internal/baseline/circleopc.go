@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"cardopc/internal/fit"
+	"cardopc/internal/geom"
+	"cardopc/internal/ilt"
+	"cardopc/internal/litho"
+	"cardopc/internal/raster"
+	"cardopc/internal/spline"
+)
+
+// CircleConfig tunes the CircleOpt proxy.
+type CircleConfig struct {
+	// ILT is the pixel-ILT stage.
+	ILT ilt.Config
+	// CtrlFraction is the (deliberately low) r_Q of the arc-constrained
+	// fit: fewer control points ≈ circle/arc-limited masks.
+	CtrlFraction float64
+	// FitIterations / FitLR drive the fitting stage.
+	FitIterations int
+	FitLR         float64
+	// Tension of the fitted loops.
+	Tension float64
+}
+
+// DefaultCircleConfig returns the Fig. 7 proxy settings.
+func DefaultCircleConfig() CircleConfig {
+	return CircleConfig{
+		ILT:           ilt.DefaultConfig(),
+		CtrlFraction:  0.06,
+		FitIterations: 250,
+		FitLR:         0.5,
+		Tension:       spline.DefaultTension,
+	}
+}
+
+// CircleResult is one CircleOPC run.
+type CircleResult struct {
+	// MaskPolys are the final arc-limited mask outlines.
+	MaskPolys []geom.Polygon
+	// Ctrl holds the fitted control loops (for MRC).
+	Ctrl [][]geom.Pt
+}
+
+// CircleOPC emulates fracturing-aware curvilinear ILT (CircleOpt, ref
+// [49]): pixel ILT produces a free-form mask, which is then re-expressed
+// with a very low control-point budget so every boundary is built from few,
+// large-radius arcs — the circular e-beam writing constraint. The reduced
+// degrees of freedom trade pattern fidelity (higher L2/EPE than the
+// spline-fit hybrid) for writer-friendly geometry, which is exactly the
+// trade-off Fig. 7 probes.
+func CircleOPC(sim *litho.Simulator, targets []geom.Polygon, cfg CircleConfig) *CircleResult {
+	g := sim.Grid()
+	target := raster.Rasterize(g, targets, 2)
+	for i, v := range target.Data {
+		if v >= 0.5 {
+			target.Data[i] = 1
+		} else {
+			target.Data[i] = 0
+		}
+	}
+	iltRes := ilt.Run(sim, target, cfg.ILT)
+
+	fcfg := fit.DefaultConfig()
+	fcfg.RQ = cfg.CtrlFraction
+	fcfg.Iterations = cfg.FitIterations
+	fcfg.LR = cfg.FitLR
+	fcfg.Tension = cfg.Tension
+	shapes := fit.FitMask(iltRes.BinaryMask, fcfg)
+
+	out := &CircleResult{}
+	for _, s := range shapes {
+		if s.Hole {
+			continue
+		}
+		out.Ctrl = append(out.Ctrl, s.Ctrl)
+		out.MaskPolys = append(out.MaskPolys, spline.NewCurve(s.Ctrl, cfg.Tension).Sample(8))
+	}
+	return out
+}

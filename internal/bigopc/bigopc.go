@@ -1,0 +1,202 @@
+// Package bigopc drives CardOPC over layouts larger than one optical
+// window: the layout is cut into tiles, each tile is corrected inside a
+// halo of surrounding context (so optical interactions across tile borders
+// are seen), and each polygon's correction is kept from exactly one owning
+// tile. This is the mechanism behind the paper's §IV-B large-scale runs,
+// generalised into a reusable, goroutine-parallel driver.
+//
+// Limitation: every polygon must fit inside a tile window (core + 2·halo);
+// standard-cell metal at 30 µm tiles satisfies this trivially.
+package bigopc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cardopc/internal/core"
+	"cardopc/internal/geom"
+	"cardopc/internal/litho"
+)
+
+// Config tunes the tiled run.
+type Config struct {
+	// TileNM is the tile core size (the region a tile owns).
+	TileNM float64
+	// HaloNM is the context margin imaged around each core.
+	HaloNM float64
+	// OPC configures the per-tile CardOPC flow.
+	OPC core.Config
+	// Litho configures the shared imaging stack; its field of view
+	// (GridSize·PitchNM) must be at least TileNM + 2·HaloNM.
+	Litho litho.Config
+	// Workers bounds tile parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if c.TileNM <= 0 || c.HaloNM < 0 {
+		return fmt.Errorf("bigopc: tile %v / halo %v invalid", c.TileNM, c.HaloNM)
+	}
+	fov := float64(c.Litho.GridSize) * c.Litho.PitchNM
+	if need := c.TileNM + 2*c.HaloNM; fov < need {
+		return fmt.Errorf("bigopc: optical field %v nm smaller than tile+halos %v nm", fov, need)
+	}
+	if err := c.Litho.Validate(); err != nil {
+		return err
+	}
+	return c.OPC.Validate()
+}
+
+// Result is one tiled run.
+type Result struct {
+	// MaskPolys are the corrected outlines of every owned shape, in layout
+	// coordinates.
+	MaskPolys []geom.Polygon
+	// Tiles is the number of tile windows processed.
+	Tiles int
+	// Shapes is the number of main shapes corrected.
+	Shapes int
+}
+
+// tileJob is one tile's work: owned targets plus halo context.
+type tileJob struct {
+	origin geom.Pt // window lower-left corner in layout coordinates
+	owned  []geom.Polygon
+	halo   []geom.Polygon
+}
+
+// Run corrects the layout tile by tile.
+func Run(targets []geom.Polygon, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sim := litho.NewSimulator(cfg.Litho)
+	fov := float64(cfg.Litho.GridSize) * cfg.Litho.PitchNM
+
+	// Layout extent.
+	bounds := geom.EmptyRect()
+	for _, t := range targets {
+		bounds = bounds.Union(t.Bounds())
+	}
+	if bounds.Empty() {
+		return &Result{}, nil
+	}
+
+	// Assign each polygon to the tile containing its centroid.
+	cols := int((bounds.W() + cfg.TileNM - 1) / cfg.TileNM)
+	rows := int((bounds.H() + cfg.TileNM - 1) / cfg.TileNM)
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	jobs := map[[2]int]*tileJob{}
+	tileOf := func(p geom.Pt) [2]int {
+		cx := int((p.X - bounds.Min.X) / cfg.TileNM)
+		cy := int((p.Y - bounds.Min.Y) / cfg.TileNM)
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy >= rows {
+			cy = rows - 1
+		}
+		return [2]int{cx, cy}
+	}
+	coreRect := func(key [2]int) geom.Rect {
+		min := geom.P(bounds.Min.X+float64(key[0])*cfg.TileNM, bounds.Min.Y+float64(key[1])*cfg.TileNM)
+		return geom.Rect{Min: min, Max: min.Add(geom.P(cfg.TileNM, cfg.TileNM))}
+	}
+	for _, t := range targets {
+		key := tileOf(t.Centroid())
+		j := jobs[key]
+		if j == nil {
+			cr := coreRect(key)
+			// Window origin centres core+halos in the optical field.
+			slack := (fov - cfg.TileNM - 2*cfg.HaloNM) / 2
+			j = &tileJob{origin: cr.Min.Sub(geom.P(cfg.HaloNM+slack, cfg.HaloNM+slack))}
+			jobs[key] = j
+		}
+		j.owned = append(j.owned, t)
+	}
+	// Halo context: polygons whose bounds intersect a tile's halo region.
+	for key, j := range jobs {
+		window := coreRect(key).Expand(cfg.HaloNM)
+		for _, t := range targets {
+			if tileOf(t.Centroid()) == key {
+				continue
+			}
+			if t.Bounds().Intersects(window) {
+				j.halo = append(j.halo, t)
+			}
+		}
+	}
+
+	// Process tiles in parallel over the shared simulator.
+	keys := make([][2]int, 0, len(jobs))
+	for k := range jobs {
+		keys = append(keys, k)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	results := make([][]geom.Polygon, len(keys))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = correctTile(sim, jobs[keys[i]], cfg)
+			}
+		}()
+	}
+	for i := range keys {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	res := &Result{Tiles: len(keys)}
+	for _, polys := range results {
+		res.MaskPolys = append(res.MaskPolys, polys...)
+		res.Shapes += len(polys)
+	}
+	return res, nil
+}
+
+// correctTile runs CardOPC on one window and returns the owned shapes'
+// corrected outlines in layout coordinates.
+func correctTile(sim *litho.Simulator, job *tileJob, cfg Config) []geom.Polygon {
+	shift := job.origin.Mul(-1)
+	local := make([]geom.Polygon, 0, len(job.owned)+len(job.halo))
+	for _, t := range job.owned {
+		local = append(local, t.Translate(shift))
+	}
+	for _, t := range job.halo {
+		local = append(local, t.Translate(shift))
+	}
+
+	res := core.Optimize(sim, local, cfg.OPC)
+
+	// Main shapes come out in target order; keep the owned prefix.
+	var out []geom.Polygon
+	kept := 0
+	for _, s := range res.Mask.Shapes {
+		if s.SRAF {
+			continue
+		}
+		if kept < len(job.owned) {
+			out = append(out, s.PolyCopy(cfg.OPC.SamplesPerSeg).Translate(job.origin))
+		}
+		kept++
+	}
+	return out
+}

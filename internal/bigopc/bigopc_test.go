@@ -1,0 +1,149 @@
+package bigopc
+
+import (
+	"testing"
+
+	"cardopc/internal/core"
+	"cardopc/internal/geom"
+	"cardopc/internal/litho"
+)
+
+func testConfig() Config {
+	lcfg := litho.DefaultConfig()
+	lcfg.GridSize = 256
+	lcfg.PitchNM = 8 // 2048 nm field
+
+	opc := core.MetalConfig()
+	opc.Iterations = 4
+	opc.DecayAt = nil
+
+	return Config{
+		TileNM: 1024,
+		HaloNM: 400,
+		OPC:    opc,
+		Litho:  lcfg,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cfg := testConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := cfg
+	bad.TileNM = 2000 // 2000 + 800 > 2048 field
+	if err := bad.Validate(); err == nil {
+		t.Error("oversized tile accepted")
+	}
+	bad = cfg
+	bad.TileNM = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero tile accepted")
+	}
+}
+
+func TestRunEmptyLayout(t *testing.T) {
+	res, err := Run(nil, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tiles != 0 || len(res.MaskPolys) != 0 {
+		t.Errorf("empty layout: %+v", res)
+	}
+}
+
+// TestRunTiledLayout corrects a 3-tile-wide layout and checks every target
+// yields exactly one corrected shape, with no duplicates from halos.
+func TestRunTiledLayout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tile OPC test")
+	}
+	// Wires spread over ~3000x1000 nm: spans two tile columns.
+	var targets []geom.Polygon
+	for i := 0; i < 6; i++ {
+		x0 := 100 + float64(i%3)*1000
+		y0 := 200 + float64(i/3)*400
+		targets = append(targets, geom.Rect{
+			Min: geom.P(x0, y0),
+			Max: geom.P(x0+600, y0+90),
+		}.Poly())
+	}
+	cfg := testConfig()
+	res, err := Run(targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shapes != len(targets) {
+		t.Fatalf("shapes = %d, want %d (one per target)", res.Shapes, len(targets))
+	}
+	if res.Tiles < 2 {
+		t.Errorf("tiles = %d, want >= 2 for a 3000 nm layout with 1024 nm tiles", res.Tiles)
+	}
+	// Each corrected shape sits near its target (same centroid within the
+	// drift cap) — and near exactly one.
+	for _, p := range res.MaskPolys {
+		c := p.Centroid()
+		matches := 0
+		for _, tgt := range targets {
+			if tgt.Centroid().Dist(c) < 100 {
+				matches++
+			}
+		}
+		if matches != 1 {
+			t.Errorf("corrected shape at %v matches %d targets", c, matches)
+		}
+	}
+}
+
+// TestHaloConsistency verifies that a polygon near a tile border is
+// corrected with its cross-border neighbour visible: the result should be
+// closer to the single-window correction than a halo-less tiling would be.
+func TestHaloConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tile OPC test")
+	}
+	// Two wires 160 nm apart whose centroids land in different tiles
+	// (tiling is relative to the layout bounds, which start at x = 600).
+	a := geom.Rect{Min: geom.P(600, 500), Max: geom.P(1560, 590)}.Poly()
+	b := geom.Rect{Min: geom.P(1720, 500), Max: geom.P(2680, 590)}.Poly()
+	targets := []geom.Polygon{a, b}
+
+	cfg := testConfig()
+	res, err := Run(targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shapes != 2 {
+		t.Fatalf("shapes = %d", res.Shapes)
+	}
+	if res.Tiles != 2 {
+		t.Fatalf("tiles = %d, want the pair split across tiles", res.Tiles)
+	}
+
+	// Reference: both wires corrected in one window, recentred so the
+	// pair fits the 2048 nm optical field.
+	shift := geom.P(1024, 1024).Sub(geom.RectOf(geom.P(600, 500), geom.P(2680, 590)).Center())
+	centred := []geom.Polygon{a.Translate(shift), b.Translate(shift)}
+	sim := litho.NewSimulator(cfg.Litho)
+	ref := core.Optimize(sim, centred, cfg.OPC)
+	refPolys := ref.Mask.MainPolygons(cfg.OPC.SamplesPerSeg)
+
+	// Compare each tiled wire's area against its counterpart (nearest
+	// centroid after undoing the recentring): with halos the tiled result
+	// must track the joint correction closely.
+	for i, tiled := range res.MaskPolys {
+		var match geom.Polygon
+		best := 1e18
+		for _, rp := range refPolys {
+			back := rp.Translate(shift.Mul(-1))
+			if d := back.Centroid().Dist(tiled.Centroid()); d < best {
+				best = d
+				match = back
+			}
+		}
+		relDiff := (tiled.Area() - match.Area()) / match.Area()
+		if relDiff > 0.08 || relDiff < -0.08 {
+			t.Errorf("shape %d: tiled area %v vs reference %v", i, tiled.Area(), match.Area())
+		}
+	}
+}

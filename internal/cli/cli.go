@@ -1,0 +1,52 @@
+// Package cli holds the small helpers shared by the command-line tools:
+// resolving a testcase argument to a layout clip and loading clip files.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"cardopc/internal/layout"
+)
+
+// LoadClip resolves a clip from either a built-in case name ("V1".."V13",
+// "M1".."M10", case-insensitive) or a clip file path. Exactly one of the
+// two must be non-empty.
+func LoadClip(caseName, inPath string) (layout.Clip, error) {
+	switch {
+	case caseName != "" && inPath != "":
+		return layout.Clip{}, fmt.Errorf("use either -case or -in, not both")
+	case caseName != "":
+		return BuiltinClip(caseName)
+	case inPath != "":
+		f, err := os.Open(inPath)
+		if err != nil {
+			return layout.Clip{}, err
+		}
+		defer f.Close()
+		return layout.ReadClip(f)
+	default:
+		return layout.Clip{}, fmt.Errorf("need -case or -in (try -case V1)")
+	}
+}
+
+// BuiltinClip resolves a built-in testcase by name.
+func BuiltinClip(caseName string) (layout.Clip, error) {
+	name := strings.ToUpper(strings.TrimSpace(caseName))
+	var i int
+	if n, err := fmt.Sscanf(name, "V%d", &i); err == nil && n == 1 {
+		if i < 1 || i > layout.NumViaClips {
+			return layout.Clip{}, fmt.Errorf("via case %q out of range V1..V%d", caseName, layout.NumViaClips)
+		}
+		return layout.ViaClip(i), nil
+	}
+	if n, err := fmt.Sscanf(name, "M%d", &i); err == nil && n == 1 {
+		if i < 1 || i > layout.NumMetalClips {
+			return layout.Clip{}, fmt.Errorf("metal case %q out of range M1..M%d", caseName, layout.NumMetalClips)
+		}
+		return layout.MetalClip(i), nil
+	}
+	return layout.Clip{}, fmt.Errorf("unknown case %q (want V1..V%d or M1..M%d)",
+		caseName, layout.NumViaClips, layout.NumMetalClips)
+}

@@ -1,0 +1,75 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cardopc/internal/layout"
+)
+
+func TestBuiltinClipVia(t *testing.T) {
+	c, err := BuiltinClip("V3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "V3" || len(c.Targets) != 3 {
+		t.Errorf("V3 = %q with %d targets", c.Name, len(c.Targets))
+	}
+	// Case-insensitive with whitespace.
+	if _, err := BuiltinClip(" v13 "); err != nil {
+		t.Errorf("lower-case name rejected: %v", err)
+	}
+}
+
+func TestBuiltinClipMetal(t *testing.T) {
+	c, err := BuiltinClip("m10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalPoints() != 120 {
+		t.Errorf("M10 points = %d", c.TotalPoints())
+	}
+}
+
+func TestBuiltinClipErrors(t *testing.T) {
+	for _, name := range []string{"V0", "V14", "M0", "M11", "X3", "", "banana"} {
+		if _, err := BuiltinClip(name); err == nil {
+			t.Errorf("BuiltinClip(%q) should fail", name)
+		}
+	}
+}
+
+func TestLoadClipFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "clip.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.WriteClip(f, layout.ViaClip(1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c, err := LoadClip("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "V1" {
+		t.Errorf("loaded %q", c.Name)
+	}
+}
+
+func TestLoadClipArgumentValidation(t *testing.T) {
+	if _, err := LoadClip("", ""); err == nil || !strings.Contains(err.Error(), "-case") {
+		t.Errorf("empty args: %v", err)
+	}
+	if _, err := LoadClip("V1", "somefile"); err == nil || !strings.Contains(err.Error(), "not both") {
+		t.Errorf("both args: %v", err)
+	}
+	if _, err := LoadClip("", "/nonexistent/file.txt"); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,182 @@
+// Package core implements CardOPC, the paper's primary contribution: a
+// curvilinear OPC flow that represents mask patterns as control points
+// connected by cardinal splines and corrects them iteratively under
+// lithography-simulation feedback (paper Fig. 2).
+//
+// The flow is:
+//
+//  1. SRAF insertion (rule-based, Fig. 3a) — optional; SRAFs can also come
+//     from ILT fitting (package fit).
+//  2. Dissection of target polygons into corner segments of length l_c and
+//     uniform segments of length l_u (Fig. 3b).
+//  3. Control-point generation at segment midpoints, with spline-interpolated
+//     corner control points (Fig. 3c).
+//  4. Per-iteration: connect control points with cardinal splines, simulate,
+//     estimate the edge displacement at every control point, and move the
+//     points along their normals with neighbour smoothing (Eqs. 3–8).
+//
+// Mask rule checking and violation resolving live in package mrc.
+package core
+
+import (
+	"fmt"
+
+	"cardopc/internal/spline"
+)
+
+// Config holds every CardOPC knob. The Via/Metal/LargeScale constructors
+// return the exact settings of the paper's experiment sections.
+type Config struct {
+	// Spline selects the representation (cardinal, or Bézier for the
+	// §IV-D ablation).
+	Spline spline.Kind
+	// Tension is the cardinal tension parameter s.
+	Tension float64
+	// CornerSegLen is l_c, the dissection length near polygon corners.
+	CornerSegLen float64
+	// UniformSegLen is l_u, the dissection length along straight runs.
+	UniformSegLen float64
+	// MoveStep is γ of Eq. (6): the diagonal inverse-Jacobian gain. Each
+	// control point moves -γ·EPE along its normal per iteration (the
+	// paper's "moving distance"), capped at MoveCap.
+	MoveStep float64
+	// MoveCap bounds the per-iteration excursion of one control point.
+	MoveCap float64
+	// Iterations is the number of correction iterations.
+	Iterations int
+	// DecayAt lists iterations where MoveStep is multiplied by DecayFactor.
+	DecayAt []int
+	// DecayFactor scales MoveStep at each DecayAt milestone.
+	DecayFactor float64
+	// SmoothWindow is W of Eq. (7): moves are averaged over 2W+1
+	// neighbouring control points of the same shape.
+	SmoothWindow int
+	// SamplesPerSeg is the number of points sampled per spline segment
+	// when connecting control points into mask polygons.
+	SamplesPerSeg int
+	// ProbeSpacing places the conventional EPE measure points that drive
+	// the correction: <= 0 puts one probe at each edge centre (the via
+	// convention); > 0 spaces probes along long edges (60 nm for metal).
+	ProbeSpacing float64
+	// EPECap clamps per-iteration |EPE| feedback (guards against probes
+	// that fall into a neighbouring feature's crossing).
+	EPECap float64
+	// EPETol is the convergence deadband: control points whose |EPE| is
+	// below it do not move (prevents limit-cycle dithering).
+	EPETol float64
+	// MaxDrift caps how far a control point may travel from its anchor on
+	// the target boundary, bounding mask deformation the way mask rules
+	// would. Corner probes that can never fully resolve saturate here
+	// instead of inflating the mask indefinitely.
+	MaxDrift float64
+	// CornerGain scales the feedback gain of corner control points
+	// relative to MoveStep. Corner EPE can never be driven to zero
+	// (corners always round), so corners run at reduced authority; 0 makes
+	// them pure followers of Eq. (7) smoothing.
+	CornerGain float64
+	// SRAF configures rule-based assist-feature insertion.
+	SRAF SRAFConfig
+}
+
+// SRAFConfig controls rule-based SRAF insertion (paper Fig. 3a).
+type SRAFConfig struct {
+	// Enable turns insertion on.
+	Enable bool
+	// Ratio is r: the SRAF length is r × the main-pattern edge length.
+	Ratio float64
+	// Distance is d_ms, the main-to-SRAF spacing in nm.
+	Distance float64
+	// Width is the SRAF width in nm.
+	Width float64
+	// MinEdge is the minimum main-pattern edge length that receives an
+	// SRAF.
+	MinEdge float64
+}
+
+// ViaConfig returns the paper's via-layer settings (§IV-A): l_c=20, l_u=30,
+// 2 nm step, 32 iterations with ×0.5 decay at 16, tension 0.6.
+func ViaConfig() Config {
+	return Config{
+		Spline:        spline.Cardinal,
+		Tension:       spline.DefaultTension,
+		CornerSegLen:  20,
+		UniformSegLen: 30,
+		MoveStep:      1,
+		Iterations:    32,
+		DecayAt:       []int{16},
+		DecayFactor:   0.5,
+		SmoothWindow:  1,
+		SamplesPerSeg: 8,
+		MoveCap:       10,
+		EPECap:        20,
+		EPETol:        0.15,
+		MaxDrift:      20,
+		SRAF: SRAFConfig{
+			Enable:   true,
+			Ratio:    0.8,
+			Distance: 100,
+			Width:    30,
+			MinEdge:  40,
+		},
+	}
+}
+
+// MetalConfig returns the paper's metal-layer settings (§IV-A): l_c=30,
+// l_u=60, 4 nm step, 32 iterations with decay at 16.
+func MetalConfig() Config {
+	cfg := ViaConfig()
+	cfg.CornerSegLen = 30
+	cfg.UniformSegLen = 60
+	cfg.MoveStep = 1
+	cfg.ProbeSpacing = 60
+	cfg.MaxDrift = 35
+	cfg.SRAF.Enable = false // metal clips run without assist features
+	return cfg
+}
+
+// LargeScaleConfig returns the paper's large-scale settings (§IV-B):
+// l_c=l_u=40, 8 nm step, 10 iterations with decay at 8.
+func LargeScaleConfig() Config {
+	cfg := MetalConfig()
+	cfg.CornerSegLen = 40
+	cfg.UniformSegLen = 40
+	cfg.MoveStep = 1
+	cfg.ProbeSpacing = 60
+	cfg.MaxDrift = 45
+	cfg.Iterations = 10
+	cfg.DecayAt = []int{8}
+	return cfg
+}
+
+// stepAt returns the decayed moving distance at iteration it (0-based).
+func (c Config) stepAt(it int) float64 {
+	v := c.MoveStep
+	for _, m := range c.DecayAt {
+		if it >= m {
+			v *= c.DecayFactor
+		}
+	}
+	return v
+}
+
+// Validate reports the first problem with the configuration, or nil. Zero
+// values that have safe defaults elsewhere are not errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Tension < 0 || c.Tension > 2:
+		return fmt.Errorf("core: tension %v outside [0, 2]", c.Tension)
+	case c.CornerSegLen <= 0:
+		return fmt.Errorf("core: CornerSegLen must be positive, got %v", c.CornerSegLen)
+	case c.UniformSegLen <= 0:
+		return fmt.Errorf("core: UniformSegLen must be positive, got %v", c.UniformSegLen)
+	case c.MoveStep <= 0:
+		return fmt.Errorf("core: MoveStep (gain) must be positive, got %v", c.MoveStep)
+	case c.Iterations < 0:
+		return fmt.Errorf("core: negative iterations %d", c.Iterations)
+	case c.SamplesPerSeg < 1:
+		return fmt.Errorf("core: SamplesPerSeg must be >= 1, got %d", c.SamplesPerSeg)
+	case c.DecayFactor < 0 || c.DecayFactor > 1:
+		return fmt.Errorf("core: DecayFactor %v outside [0, 1]", c.DecayFactor)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"cardopc/internal/geom"
+)
+
+// InsertSRAFs performs simple rule-based SRAF insertion (paper Fig. 3a):
+// each sufficiently long main-pattern edge receives one assist bar of length
+// r·l_m placed d_ms away from the edge on its outward side, skipped when the
+// bar would come too close to another main pattern or a previously placed
+// SRAF. SRAFs are sub-resolution: they influence the process window without
+// printing.
+func InsertSRAFs(targets []geom.Polygon, cfg SRAFConfig) []geom.Polygon {
+	var srafs []geom.Polygon
+	clearance := cfg.Distance * 0.8
+
+	for _, t := range targets {
+		t := t.Clone().EnsureCCW()
+		for i := range t {
+			e := t.Edge(i)
+			lm := e.Len()
+			if lm < cfg.MinEdge {
+				continue
+			}
+			out := e.Normal().Mul(-1) // outward for CCW
+			ls := cfg.Ratio * lm
+			centre := e.Mid().Add(out.Mul(cfg.Distance + cfg.Width/2))
+			dir := e.Dir()
+			half := dir.Mul(ls / 2)
+			wHalf := out.Mul(cfg.Width / 2)
+			bar := geom.Polygon{
+				centre.Sub(half).Sub(wHalf),
+				centre.Add(half).Sub(wHalf),
+				centre.Add(half).Add(wHalf),
+				centre.Sub(half).Add(wHalf),
+			}
+			bar.EnsureCCW()
+			if srafClear(bar, targets, srafs, clearance) {
+				srafs = append(srafs, bar)
+			}
+		}
+	}
+	return srafs
+}
+
+// srafClear reports whether bar keeps clearance from every main pattern it
+// does not assist and every existing SRAF.
+func srafClear(bar geom.Polygon, targets, srafs []geom.Polygon, clearance float64) bool {
+	bb := bar.Bounds().Expand(clearance)
+	for _, t := range targets {
+		if !bb.Intersects(t.Bounds()) {
+			continue
+		}
+		if geom.PolyDist(bar, t) < clearance {
+			return false
+		}
+	}
+	for _, s := range srafs {
+		if !bb.Intersects(s.Bounds()) {
+			continue
+		}
+		if geom.PolyDist(bar, s) < clearance {
+			return false
+		}
+	}
+	return true
+}

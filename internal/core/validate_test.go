@@ -1,0 +1,46 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsPresets(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"via":   ViaConfig(),
+		"metal": MetalConfig(),
+		"large": LargeScaleConfig(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		mutate func(*Config)
+		want   string
+	}{
+		{func(c *Config) { c.Tension = -1 }, "tension"},
+		{func(c *Config) { c.Tension = 3 }, "tension"},
+		{func(c *Config) { c.CornerSegLen = 0 }, "CornerSegLen"},
+		{func(c *Config) { c.UniformSegLen = -5 }, "UniformSegLen"},
+		{func(c *Config) { c.MoveStep = 0 }, "MoveStep"},
+		{func(c *Config) { c.Iterations = -1 }, "iterations"},
+		{func(c *Config) { c.SamplesPerSeg = 0 }, "SamplesPerSeg"},
+		{func(c *Config) { c.DecayFactor = 2 }, "DecayFactor"},
+	}
+	for i, tc := range cases {
+		cfg := ViaConfig()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("case %d: expected error", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("case %d: error %q does not mention %q", i, err, tc.want)
+		}
+	}
+}

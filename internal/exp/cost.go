@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"time"
+
+	"cardopc/internal/baseline"
+	"cardopc/internal/core"
+	"cardopc/internal/fracture"
+	"cardopc/internal/geom"
+	"cardopc/internal/layout"
+	"cardopc/internal/litho"
+	"cardopc/internal/pw"
+	"cardopc/internal/raster"
+)
+
+// MaskCost regenerates the mask-writability trade-off behind the paper's
+// MBMW discussion and ref [49]: the same testcases corrected by Manhattan
+// segment OPC and by CardOPC, fractured into VSB shots. Curvilinear masks
+// buy EPE at the cost of shot count — this table quantifies both sides.
+// (Extension experiment; the paper states the trade-off qualitatively.)
+func MaskCost(o Options) *Table {
+	t := &Table{ID: "Mask cost", Title: "VSB shot count vs EPE: Manhattan vs curvilinear masks"}
+	proc := newProcess(o)
+	fopt := fracture.DefaultOptions()
+	n := o.clipCount(4)
+	for i := 1; i <= n; i++ {
+		clip := layout.ViaClip(i)
+
+		segCfg := baseline.SegViaConfig()
+		cardCfg := core.ViaConfig()
+		if o.Iterations > 0 {
+			segCfg.Iterations = o.Iterations
+			segCfg.DecayAt = []int{o.Iterations / 2}
+			cardCfg.Iterations = o.Iterations
+			cardCfg.DecayAt = []int{o.Iterations / 2}
+		}
+
+		start := time.Now()
+		seg := baseline.SegmentOPC(proc.Nominal, clip.Targets, segCfg)
+		segDur := time.Since(start)
+		segEval := evaluate(proc, seg.MaskPolys, clip.Targets, 0)
+		_, segStats := fracture.FractureAll(seg.MaskPolys, fopt)
+		// L2 column reused for the shot count.
+		t.Rows = append(t.Rows, Row{
+			Testcase: clip.Name, Method: "SegOPC",
+			EPE: segEval.EPESum, PVB: segEval.PVB,
+			L2: float64(segStats.Shots), Runtime: segDur,
+		})
+
+		start = time.Now()
+		card := core.Optimize(proc.Nominal, clip.Targets, cardCfg)
+		cardDur := time.Since(start)
+		polys := card.Mask.Polygons(cardCfg.SamplesPerSeg)
+		cardEval := evaluate(proc, polys, clip.Targets, 0)
+		_, cardStats := fracture.FractureAll(polys, fopt)
+		t.Rows = append(t.Rows, Row{
+			Testcase: clip.Name, Method: "CardOPC",
+			EPE: cardEval.EPESum, PVB: cardEval.PVB,
+			L2: float64(cardStats.Shots), Runtime: cardDur,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"L2 column holds the VSB shot count here",
+		"expected trade-off: CardOPC wins EPE but fractures into many more shots — the manufacturability cost MBMW mask writers remove (paper §I)")
+	return t
+}
+
+// ProcessWindowTable compares the exposure-defocus window of the CardOPC
+// and segment-OPC corrections of one via (extension experiment: the PVB
+// metric collapsed into a full window map).
+func ProcessWindowTable(o Options) *Table {
+	t := &Table{ID: "Process window", Title: "Exposure-defocus window: Manhattan vs curvilinear OPC"}
+	lcfg := litho.DefaultConfig()
+	if o.GridSize > 0 {
+		lcfg.GridSize = o.GridSize
+	}
+	if o.PitchNM > 0 {
+		lcfg.PitchNM = o.PitchNM
+	}
+	sim := litho.NewSimulator(lcfg)
+	clip := layout.ViaClip(1)
+	g := sim.Grid()
+
+	// CD cut across the first via.
+	b := clip.Targets[0].Bounds()
+	cut := pw.Cut{Center: b.Center(), Dir: geom.P(1, 0)}
+	targetCD := b.W()
+
+	segCfg := baseline.SegViaConfig()
+	cardCfg := core.ViaConfig()
+	if o.Iterations > 0 {
+		segCfg.Iterations = o.Iterations
+		segCfg.DecayAt = []int{o.Iterations / 2}
+		cardCfg.Iterations = o.Iterations
+		cardCfg.DecayAt = []int{o.Iterations / 2}
+	}
+	pwCfg := pw.DefaultConfig()
+
+	for _, m := range []struct {
+		name string
+		mask *raster.Field
+	}{
+		{"SegOPC", raster.Rasterize(g, baseline.SegmentOPC(sim, clip.Targets, segCfg).MaskPolys, 4)},
+		{"CardOPC", core.Optimize(sim, clip.Targets, cardCfg).Mask.Rasterize(g, cardCfg.SamplesPerSeg, 4)},
+	} {
+		start := time.Now()
+		w := pw.Analyze(lcfg, m.mask, cut, targetCD, pwCfg)
+		t.Rows = append(t.Rows, Row{
+			Testcase: clip.Name, Method: m.name,
+			EPE:     float64(w.InSpecCount()),
+			PVB:     w.DOFAtNominalDose(),
+			L2:      w.ExposureLatitude() * 100,
+			Runtime: time.Since(start),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"columns here: EPE = in-spec window points (of 25), PVB = depth of focus at nominal dose (nm), L2 = exposure latitude (%)",
+		"expected shape: the curvilinear correction holds at least as much window as the Manhattan one")
+	return t
+}

@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"os"
+	"testing"
+)
+
+func TestMaskCostShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	tab := MaskCost(Options{GridSize: 256, PitchNM: 8, Iterations: 8, Clips: 1})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var seg, card Row
+	for _, r := range tab.Rows {
+		switch r.Method {
+		case "SegOPC":
+			seg = r
+		case "CardOPC":
+			card = r
+		}
+	}
+	// The trade-off: curvilinear masks need more shots.
+	if card.L2 <= seg.L2 {
+		t.Errorf("curvilinear shots %v not above Manhattan %v", card.L2, seg.L2)
+	}
+	tab.Fprint(os.Stderr)
+}
+
+func TestProcessWindowShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	tab := ProcessWindowTable(Options{GridSize: 256, PitchNM: 8, Iterations: 8})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r.EPE < 0 || r.EPE > 25 {
+			t.Errorf("in-spec count out of range: %+v", r)
+		}
+	}
+	tab.Fprint(os.Stderr)
+}

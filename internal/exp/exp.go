@@ -1,0 +1,252 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation section against this repository's
+// implementations, and prints paper-reported numbers alongside as reference
+// columns (the DL baselines DAMO/RL-OPC/CAMO cannot be re-trained here; see
+// DESIGN.md).
+//
+// Scale note: the harness runs the same flows as the paper on the same
+// testcase *structure* (via counts, metal point counts, tile counts), but on
+// a synthetic imager, so absolute numbers differ from the paper. The
+// comparisons that matter — which method wins, and by roughly what factor —
+// are expected to match; EXPERIMENTS.md records paper-vs-measured.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cardopc/internal/baseline"
+	"cardopc/internal/core"
+	"cardopc/internal/geom"
+	"cardopc/internal/layout"
+	"cardopc/internal/litho"
+	"cardopc/internal/metrics"
+	"cardopc/internal/raster"
+)
+
+// Options scales experiment cost. Fast() keeps unit-test/bench latency
+// tolerable; Full() runs the paper's settings.
+type Options struct {
+	// GridSize / PitchNM set the imaging raster (extent stays 2048 nm).
+	GridSize int
+	PitchNM  float64
+	// Iterations overrides the per-flow iteration counts (0 = paper
+	// defaults).
+	Iterations int
+	// ILTIterations overrides the pixel-ILT budget of the hybrid flows.
+	ILTIterations int
+	// Clips bounds how many testcases per table run (0 = all).
+	Clips int
+}
+
+// Fast returns reduced-cost options for benches and CI.
+func Fast() Options {
+	return Options{GridSize: 256, PitchNM: 8, Iterations: 16, ILTIterations: 50, Clips: 4}
+}
+
+// Full returns the paper-fidelity options.
+func Full() Options {
+	return Options{GridSize: 512, PitchNM: 4, ILTIterations: 150}
+}
+
+// Row is one testcase × method measurement.
+type Row struct {
+	Testcase string
+	Method   string
+	EPE      float64 // Σ|EPE| nm (Tables I/II) or violation count (III/Fig7)
+	PVB      float64 // nm²
+	L2       float64 // px
+	Runtime  time.Duration
+}
+
+// Table is one regenerated experiment artefact.
+type Table struct {
+	ID    string
+	Title string
+	Rows  []Row
+	// Notes carries paper-reference context printed under the table.
+	Notes []string
+}
+
+// Fprint renders the table as text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(w, "%-12s %-14s %12s %14s %10s %12s\n", "testcase", "method", "EPE", "PVB(nm2)", "L2(px)", "runtime")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-12s %-14s %12.2f %14.4g %10.0f %12s\n",
+			r.Testcase, r.Method, r.EPE, r.PVB, r.L2, r.Runtime.Round(time.Millisecond))
+	}
+	// Per-method averages, in first-appearance order.
+	var order []string
+	seen := map[string]bool{}
+	for _, r := range t.Rows {
+		if !seen[r.Method] {
+			seen[r.Method] = true
+			order = append(order, r.Method)
+		}
+	}
+	avg := t.Summary()
+	for _, m := range order {
+		r := avg[m]
+		fmt.Fprintf(w, "%-12s %-14s %12.2f %14.4g %10.0f %12s\n",
+			"average", m, r.EPE, r.PVB, r.L2, r.Runtime.Round(time.Millisecond))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// Summary aggregates per-method averages.
+func (t *Table) Summary() map[string]Row {
+	sums := map[string]*Row{}
+	counts := map[string]int{}
+	for _, r := range t.Rows {
+		s, ok := sums[r.Method]
+		if !ok {
+			s = &Row{Method: r.Method, Testcase: "average"}
+			sums[r.Method] = s
+		}
+		s.EPE += r.EPE
+		s.PVB += r.PVB
+		s.L2 += r.L2
+		s.Runtime += r.Runtime
+		counts[r.Method]++
+	}
+	out := map[string]Row{}
+	for m, s := range sums {
+		c := float64(counts[m])
+		out[m] = Row{
+			Testcase: "average", Method: m,
+			EPE: s.EPE / c, PVB: s.PVB / c, L2: s.L2 / c,
+			Runtime: time.Duration(float64(s.Runtime) / c),
+		}
+	}
+	return out
+}
+
+// newProcess builds the 3-corner imaging stack for the given options.
+func newProcess(o Options) *litho.Process {
+	cfg := litho.DefaultConfig()
+	if o.GridSize > 0 {
+		cfg.GridSize = o.GridSize
+	}
+	if o.PitchNM > 0 {
+		cfg.PitchNM = o.PitchNM
+	}
+	return litho.NewProcess(cfg, litho.DefaultCorners())
+}
+
+// Eval measures one mask against its targets: Σ|EPE| and violation count at
+// the probes, PVB over the process corners, and L2 at nominal.
+type Eval struct {
+	EPESum  float64
+	EPEViol int
+	PVB     float64
+	L2      float64
+}
+
+// evaluate runs the full metric suite for mask polygons.
+func evaluate(proc *litho.Process, maskPolys, targets []geom.Polygon, probeSpacing float64) Eval {
+	g := proc.Nominal.Grid()
+	mask := raster.Rasterize(g, maskPolys, 4)
+	mf := litho.MaskFreq(mask)
+	nomA, innerA, outerA := proc.AerialAllFromFreq(mf)
+
+	ith := proc.Nominal.Config().Threshold
+	probes := metrics.ProbesForLayout(targets, probeSpacing)
+	epe := metrics.MeasureEPE(nomA, probes, metrics.DefaultEPEConfig(ith))
+
+	tgtBin := raster.Rasterize(g, targets, 2).Threshold(0.5)
+	nomB := nomA.Threshold(ith)
+	innerB := innerA.Threshold(proc.Inner.Config().Threshold)
+	outerB := outerA.Threshold(proc.Outer.Config().Threshold)
+
+	return Eval{
+		EPESum:  epe.SumAbs,
+		EPEViol: epe.Violations,
+		PVB:     metrics.PVB(nomB, innerB, outerB),
+		L2:      float64(metrics.L2(nomB, tgtBin)),
+	}
+}
+
+// clipCount bounds n by the options' clip budget.
+func (o Options) clipCount(n int) int {
+	if o.Clips > 0 && o.Clips < n {
+		return o.Clips
+	}
+	return n
+}
+
+// Table1 regenerates the via-layer comparison (paper Table I): SegmentOPC
+// (Calibre proxy) vs CardOPC on V1..V13, reporting Σ|EPE| and PVB.
+func Table1(o Options) *Table {
+	t := &Table{ID: "Table I", Title: "Via-layer OPC: EPE (nm) and PVB (nm²)"}
+	proc := newProcess(o)
+	n := o.clipCount(layout.NumViaClips)
+	for i := 1; i <= n; i++ {
+		clip := layout.ViaClip(i)
+		targets := clip.Targets
+
+		segCfg := baseline.SegViaConfig()
+		cardCfg := core.ViaConfig()
+		if o.Iterations > 0 {
+			segCfg.Iterations = o.Iterations
+			segCfg.DecayAt = []int{o.Iterations / 2}
+			cardCfg.Iterations = o.Iterations
+			cardCfg.DecayAt = []int{o.Iterations / 2}
+		}
+
+		start := time.Now()
+		seg := baseline.SegmentOPC(proc.Nominal, targets, segCfg)
+		segDur := time.Since(start)
+		segEval := evaluate(proc, seg.MaskPolys, targets, 0)
+		t.Rows = append(t.Rows, Row{Testcase: clip.Name, Method: "SegOPC", EPE: segEval.EPESum, PVB: segEval.PVB, L2: segEval.L2, Runtime: segDur})
+
+		start = time.Now()
+		card := core.Optimize(proc.Nominal, targets, cardCfg)
+		cardDur := time.Since(start)
+		cardEval := evaluate(proc, card.Mask.Polygons(cardCfg.SamplesPerSeg), targets, 0)
+		t.Rows = append(t.Rows, Row{Testcase: clip.Name, Method: "CardOPC", EPE: cardEval.EPESum, PVB: cardEval.PVB, L2: cardEval.L2, Runtime: cardDur})
+	}
+	t.Notes = append(t.Notes,
+		"paper Table I averages — DAMO: EPE 23.6 / PVB 11902.5; Calibre: 18.1 / 11922.1; RL-OPC: 21.2 / 11824.8; CAMO: 15.1 / 11624.0; CardOPC: 9.1 / 11597.6",
+		"expected shape: CardOPC EPE well below the segment baseline (paper: 0.60x of best prior), PVB equal or slightly better")
+	return t
+}
+
+// Table2 regenerates the metal-layer comparison (paper Table II).
+func Table2(o Options) *Table {
+	t := &Table{ID: "Table II", Title: "Metal-layer OPC: EPE (nm) and PVB (nm²)"}
+	proc := newProcess(o)
+	n := o.clipCount(layout.NumMetalClips)
+	for i := 1; i <= n; i++ {
+		clip := layout.MetalClip(i)
+		targets := clip.Targets
+
+		segCfg := baseline.SegMetalConfig()
+		cardCfg := core.MetalConfig()
+		if o.Iterations > 0 {
+			segCfg.Iterations = o.Iterations
+			segCfg.DecayAt = []int{o.Iterations / 2}
+			cardCfg.Iterations = o.Iterations
+			cardCfg.DecayAt = []int{o.Iterations / 2}
+		}
+
+		start := time.Now()
+		seg := baseline.SegmentOPC(proc.Nominal, targets, segCfg)
+		segDur := time.Since(start)
+		segEval := evaluate(proc, seg.MaskPolys, targets, 60)
+		t.Rows = append(t.Rows, Row{Testcase: clip.Name, Method: "SegOPC", EPE: segEval.EPESum, PVB: segEval.PVB, L2: segEval.L2, Runtime: segDur})
+
+		start = time.Now()
+		card := core.Optimize(proc.Nominal, targets, cardCfg)
+		cardDur := time.Since(start)
+		cardEval := evaluate(proc, card.Mask.Polygons(cardCfg.SamplesPerSeg), targets, 60)
+		t.Rows = append(t.Rows, Row{Testcase: clip.Name, Method: "CardOPC", EPE: cardEval.EPESum, PVB: cardEval.PVB, L2: cardEval.L2, Runtime: cardDur})
+	}
+	t.Notes = append(t.Notes,
+		"paper Table II averages — Calibre: EPE 69.8 / PVB 37206.7; RL-OPC: 211.8 / 37578.6; CAMO: 62.0 / 36446.4; CardOPC: 31.0 / 34900.6",
+		"expected shape: CardOPC EPE ~0.5x of the best baseline with a few percent PVB gain")
+	return t
+}

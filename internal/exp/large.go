@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"time"
+
+	"cardopc/internal/baseline"
+	"cardopc/internal/core"
+	"cardopc/internal/layout"
+	"cardopc/internal/spline"
+)
+
+// Table3 regenerates the large-scale comparison (paper Table III):
+// SegmentOPC (20-iteration Calibre proxy) vs CardOPC on the gcd/aes/
+// dynamicnode designs. Distinct tile variants are OPCed once; per-design
+// metrics are the tile average scaled by the Table III tile multiplicity,
+// reported as EPE violation counts and PVB in µm² (matching the paper's
+// units).
+func Table3(o Options) *Table {
+	t := &Table{ID: "Table III", Title: "Large-scale OPC: EPE violations and PVB (µm²)"}
+	proc := newProcess(o)
+
+	names := layout.DesignNames()
+	if o.Clips > 0 && o.Clips < len(names) {
+		names = names[:o.Clips]
+	}
+	for _, name := range names {
+		design := layout.LargeDesign(name)
+
+		segCfg := baseline.SegLargeConfig()
+		cardCfg := core.LargeScaleConfig()
+		if o.Iterations > 0 {
+			segCfg.Iterations = o.Iterations
+			segCfg.DecayAt = []int{o.Iterations / 2}
+			cardCfg.Iterations = o.Iterations
+			cardCfg.DecayAt = []int{o.Iterations / 2}
+		}
+
+		var segEPE, cardEPE float64
+		var segPVB, cardPVB float64
+		var segDur, cardDur time.Duration
+		for _, tile := range design.Tiles {
+			start := time.Now()
+			seg := baseline.SegmentOPC(proc.Nominal, tile.Targets, segCfg)
+			segDur += time.Since(start)
+			se := evaluate(proc, seg.MaskPolys, tile.Targets, 60)
+			segEPE += se.EPESum
+			segPVB += se.PVB
+
+			start = time.Now()
+			card := core.Optimize(proc.Nominal, tile.Targets, cardCfg)
+			cardDur += time.Since(start)
+			ce := evaluate(proc, card.Mask.Polygons(cardCfg.SamplesPerSeg), tile.Targets, 60)
+			cardEPE += ce.EPESum
+			cardPVB += ce.PVB
+		}
+		// Tile-average × design tile count, PVB converted to µm².
+		nTiles := float64(len(design.Tiles))
+		scale := float64(design.TileCount) / nTiles
+		t.Rows = append(t.Rows, Row{
+			Testcase: name, Method: "SegOPC",
+			EPE: segEPE * scale, PVB: segPVB * scale / 1e6,
+			Runtime: time.Duration(float64(segDur) * scale),
+		})
+		t.Rows = append(t.Rows, Row{
+			Testcase: name, Method: "CardOPC",
+			EPE: cardEPE * scale, PVB: cardPVB * scale / 1e6,
+			Runtime: time.Duration(float64(cardDur) * scale),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"EPE column is Σ|EPE| in nm: on these scaled-down synthetic tiles both flows converge below the 15 nm violation threshold (the paper's count metric reads 0 for everyone), so the sum is the discriminating statistic; PVB is µm² (paper units)",
+		"paper Table III averages — Calibre: EPE 2409 / PVB 26.97; SimpleOPC: 2260 / 28.31; CardOPC: 2255 / 26.45",
+		"expected shape: CardOPC matches or beats the segment baseline on both EPE violations and PVB",
+		"tile scaling: distinct generated tile variants are OPCed once and scaled by the design's Table III tile count (see EXPERIMENTS.md)")
+	return t
+}
+
+// AblationSpline regenerates §IV-D: cardinal vs Bézier splines on the
+// gcd-style large-scale tiles — runtime of the control-point connection step
+// is benchmarked separately (BenchmarkAblationConnect); here we compare
+// final EPE/PVB quality of the two representations under an identical flow.
+func AblationSpline(o Options) *Table {
+	t := &Table{ID: "Ablation", Title: "Cardinal vs Bézier curvilinear OPC (gcd tiles)"}
+	proc := newProcess(o)
+	design := layout.LargeDesign("gcd")
+
+	for _, kindName := range []string{"cardinal", "bezier"} {
+		cfg := core.LargeScaleConfig()
+		if kindName == "bezier" {
+			cfg.Spline = spline.Bezier
+		}
+		if o.Iterations > 0 {
+			cfg.Iterations = o.Iterations
+			cfg.DecayAt = []int{o.Iterations / 2}
+		}
+		var epeSum, pvb float64
+		var dur time.Duration
+		for _, tile := range design.Tiles {
+			start := time.Now()
+			res := core.Optimize(proc.Nominal, tile.Targets, cfg)
+			dur += time.Since(start)
+			e := evaluate(proc, res.Mask.Polygons(cfg.SamplesPerSeg), tile.Targets, 60)
+			epeSum += e.EPESum
+			pvb += e.PVB
+		}
+		t.Rows = append(t.Rows, Row{
+			Testcase: "gcd", Method: kindName,
+			EPE: epeSum, PVB: pvb / 1e6, Runtime: dur,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper §IV-D — Bézier: EPE 3532 / PVB 34.9088; cardinal: EPE 3507 / PVB 34.2606; Bézier spends 89% more time connecting control points",
+		"expected shape: cardinal ≥ Bézier on quality; connection-runtime gap shown by BenchmarkAblationConnect")
+	return t
+}

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestTable3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	tab := Table3(Options{GridSize: 256, PitchNM: 8, Iterations: 4, Clips: 1})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d (gcd only)", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r.EPE <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+		if r.Testcase != "gcd" {
+			t.Errorf("unexpected testcase %q", r.Testcase)
+		}
+	}
+}
+
+func TestAblationSplineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	tab := AblationSpline(Options{GridSize: 256, PitchNM: 8, Iterations: 4})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	names := map[string]bool{}
+	for _, r := range tab.Rows {
+		names[r.Method] = true
+		if r.Runtime <= 0 {
+			t.Errorf("degenerate runtime: %+v", r)
+		}
+	}
+	if !names["cardinal"] || !names["bezier"] {
+		t.Errorf("methods = %v", names)
+	}
+}

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"cardopc/internal/core"
+	"cardopc/internal/fit"
+	"cardopc/internal/geom"
+	"cardopc/internal/ilt"
+	"cardopc/internal/litho"
+	"cardopc/internal/metrics"
+	"cardopc/internal/mrc"
+	"cardopc/internal/raster"
+)
+
+// RefineResult is one run of the ILT-initialised CardOPC flow.
+type RefineResult struct {
+	// Mask is the refined curvilinear mask.
+	Mask *core.Mask
+	// Mains / SRAFs count how fitted shapes were classified.
+	Mains, SRAFs int
+	// MRCBefore / MRCAfter bracket the final violation resolving.
+	MRCBefore, MRCAfter int
+}
+
+// HybridRefine implements the paper's Fig. 2 step-① alternative in full:
+// SRAFs (and main-shape initial geometry) come from fitting an ILT result,
+// after which the regular CardOPC correction loop refines the main shapes
+// against the target measure points and MRC resolving cleans the mask.
+// Fitted shapes overlapping a target become main shapes; the rest become
+// fixed SRAFs.
+func HybridRefine(sim *litho.Simulator, targets []geom.Polygon,
+	iltCfg ilt.Config, fitCfg fit.Config, opcCfg core.Config, rules mrc.Rules) *RefineResult {
+
+	g := sim.Grid()
+	target := raster.Rasterize(g, targets, 2)
+	for i, v := range target.Data {
+		if v >= 0.5 {
+			target.Data[i] = 1
+		} else {
+			target.Data[i] = 0
+		}
+	}
+	iltRes := ilt.Run(sim, target, iltCfg)
+	shapes := fit.FitField(iltRes.Mask, 0.5, fitCfg)
+
+	mask := &core.Mask{}
+	res := &RefineResult{Mask: mask}
+	var holes [][]geom.Pt
+	for _, s := range shapes {
+		if s.Hole {
+			holes = append(holes, s.Ctrl)
+			continue
+		}
+		ti := owningTarget(s.Ctrl, targets)
+		if ti < 0 {
+			// Assist decoration: keep, but frozen during correction.
+			mask.AddFittedShapes([][]geom.Pt{s.Ctrl}, opcCfg, true)
+			res.SRAFs++
+			continue
+		}
+		sh := core.NewShape(s.Ctrl, opcCfg.Spline, opcCfg.Tension, false)
+		sh.AssignProbes(targetProbes(s.Ctrl, targets[ti], opcCfg.ProbeSpacing))
+		mask.Shapes = append(mask.Shapes, sh)
+		res.Mains++
+	}
+	mask.AddHoleShapes(holes, opcCfg)
+
+	// CardOPC refinement over the fitted mask.
+	opt := core.NewOptimizerWithMask(sim, mask, targets, opcCfg)
+	opt.Run()
+
+	checker := mrc.NewChecker(mask, rules)
+	ropt := mrc.DefaultResolveOptions()
+	ropt.RemoveAreaViolators = true
+	ropt.MaxPasses = 10
+	r := checker.Resolve(ropt)
+	res.MRCBefore = r.Before
+	res.MRCAfter = r.After
+	return res
+}
+
+// owningTarget returns the index of the target whose interior contains the
+// fitted loop's centroid, or -1.
+func owningTarget(ctrl []geom.Pt, targets []geom.Polygon) int {
+	c := geom.Polygon(ctrl).Centroid()
+	for i, t := range targets {
+		if t.Contains(c) {
+			return i
+		}
+	}
+	return -1
+}
+
+// targetProbes maps each fitted control point to the nearest conventional
+// measure point of the owning target, probing along that edge's outward
+// normal.
+func targetProbes(ctrl []geom.Pt, target geom.Polygon, spacing float64) []metrics.Probe {
+	target = target.Clone().EnsureCCW()
+	type mp struct {
+		pos    geom.Pt
+		normal geom.Pt
+	}
+	var measures []mp
+	for i := range target {
+		e := target.Edge(i)
+		if e.Len() == 0 {
+			continue
+		}
+		n := e.Normal().Mul(-1)
+		for _, p := range core.EdgeMeasurePoints(e, spacing) {
+			measures = append(measures, mp{pos: p, normal: n})
+		}
+	}
+	probes := make([]metrics.Probe, len(ctrl))
+	for i, c := range ctrl {
+		best := 0
+		bd := c.Dist(measures[0].pos)
+		for k := 1; k < len(measures); k++ {
+			if d := c.Dist(measures[k].pos); d < bd {
+				bd, best = d, k
+			}
+		}
+		probes[i] = metrics.Probe{Pos: measures[best].pos, Normal: measures[best].normal}
+	}
+	return probes
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"testing"
+
+	"cardopc/internal/core"
+	"cardopc/internal/fit"
+	"cardopc/internal/geom"
+	"cardopc/internal/ilt"
+	"cardopc/internal/layout"
+	"cardopc/internal/metrics"
+	"cardopc/internal/mrc"
+	"cardopc/internal/raster"
+)
+
+func TestOwningTarget(t *testing.T) {
+	targets := []geom.Polygon{
+		geom.Rect{Min: geom.P(0, 0), Max: geom.P(100, 100)}.Poly(),
+		geom.Rect{Min: geom.P(300, 300), Max: geom.P(400, 400)}.Poly(),
+	}
+	inside := []geom.Pt{geom.P(340, 340), geom.P(360, 340), geom.P(360, 360), geom.P(340, 360)}
+	if got := owningTarget(inside, targets); got != 1 {
+		t.Errorf("owningTarget = %d, want 1", got)
+	}
+	outside := []geom.Pt{geom.P(600, 600), geom.P(620, 600), geom.P(620, 620), geom.P(600, 620)}
+	if got := owningTarget(outside, targets); got != -1 {
+		t.Errorf("owningTarget = %d, want -1", got)
+	}
+}
+
+func TestTargetProbes(t *testing.T) {
+	target := geom.Rect{Min: geom.P(0, 0), Max: geom.P(100, 100)}.Poly()
+	ctrl := []geom.Pt{geom.P(50, -2), geom.P(102, 50), geom.P(50, 101), geom.P(-1, 50)}
+	probes := targetProbes(ctrl, target, 0)
+	if len(probes) != 4 {
+		t.Fatalf("probes = %d", len(probes))
+	}
+	// Each probe sits at the matching edge centre with an outward normal.
+	wantPos := []geom.Pt{geom.P(50, 0), geom.P(100, 50), geom.P(50, 100), geom.P(0, 50)}
+	wantN := []geom.Pt{geom.P(0, -1), geom.P(1, 0), geom.P(0, 1), geom.P(-1, 0)}
+	for i := range probes {
+		if probes[i].Pos != wantPos[i] {
+			t.Errorf("probe %d pos = %v, want %v", i, probes[i].Pos, wantPos[i])
+		}
+		if probes[i].Normal != wantN[i] {
+			t.Errorf("probe %d normal = %v, want %v", i, probes[i].Normal, wantN[i])
+		}
+	}
+}
+
+func TestHybridRefineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	o := Options{GridSize: 256, PitchNM: 8}
+	proc := newProcess(o)
+	sim := proc.Nominal
+	clip := layout.MetalClip(8)
+
+	iltCfg := ilt.DefaultConfig()
+	iltCfg.Iterations = 60
+	opcCfg := core.MetalConfig()
+	opcCfg.Iterations = 8
+	opcCfg.DecayAt = nil
+
+	res := HybridRefine(sim, clip.Targets, iltCfg, fit.DefaultConfig(), opcCfg, mrc.HybridRules())
+	// Converged ILT can split one target's mask into several loops (rim +
+	// core), so at least one main per target is the invariant.
+	if res.Mains < len(clip.Targets) {
+		t.Errorf("mains = %d, want >= %d", res.Mains, len(clip.Targets))
+	}
+	if res.MRCAfter > res.MRCBefore {
+		t.Errorf("resolving increased violations: %d -> %d", res.MRCBefore, res.MRCAfter)
+	}
+
+	// The refined mask prints at least as well as the drawn mask.
+	g := sim.Grid()
+	probes := metrics.ProbesForLayout(clip.Targets, 40)
+	mcfg := metrics.DefaultEPEConfig(sim.Config().Threshold)
+	drawn := raster.Rasterize(g, clip.Targets, 4)
+	before := metrics.MeasureEPE(sim.Aerial(drawn), probes, mcfg)
+	refined := res.Mask.Rasterize(g, 8, 4)
+	after := metrics.MeasureEPE(sim.Aerial(refined), probes, mcfg)
+	if after.SumAbs >= before.SumAbs {
+		t.Errorf("refinement did not improve EPE: %v -> %v", before.SumAbs, after.SumAbs)
+	}
+}

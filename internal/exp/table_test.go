@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFprintFormatsRowsAndNotes(t *testing.T) {
+	tab := &Table{
+		ID:    "Table X",
+		Title: "demo",
+		Rows: []Row{
+			{Testcase: "V1", Method: "CardOPC", EPE: 1.5, PVB: 2048, L2: 12, Runtime: 1500 * time.Millisecond},
+		},
+		Notes: []string{"a note"},
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"Table X", "demo", "V1", "CardOPC", "1.50", "2048", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClipCount(t *testing.T) {
+	if got := (Options{Clips: 0}).clipCount(13); got != 13 {
+		t.Errorf("unbounded clipCount = %d", got)
+	}
+	if got := (Options{Clips: 4}).clipCount(13); got != 4 {
+		t.Errorf("bounded clipCount = %d", got)
+	}
+	if got := (Options{Clips: 20}).clipCount(13); got != 13 {
+		t.Errorf("over-budget clipCount = %d", got)
+	}
+}
+
+func TestFastAndFullOptions(t *testing.T) {
+	f := Fast()
+	if f.GridSize != 256 || f.Clips == 0 {
+		t.Errorf("Fast options unexpected: %+v", f)
+	}
+	full := Full()
+	if full.GridSize != 512 || full.Clips != 0 || full.Iterations != 0 {
+		t.Errorf("Full options unexpected: %+v", full)
+	}
+}
+
+func TestItoaFtoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", 1776: "1776"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q", in, got)
+		}
+	}
+	fcases := map[float64]string{0.6: "0.6", 1.0: "1.0", 0.25: "0.3", 0.95: "1.0"}
+	for in, want := range fcases {
+		if got := ftoa(in); got != want {
+			t.Errorf("ftoa(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAblationTensionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	tab := AblationTension(Options{GridSize: 256, PitchNM: 8, Iterations: 6, Clips: 1}, []float64{0.4, 0.6})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r.EPE <= 0 {
+			t.Errorf("degenerate EPE in %+v", r)
+		}
+	}
+}

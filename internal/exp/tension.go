@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"time"
+
+	"cardopc/internal/core"
+	"cardopc/internal/layout"
+)
+
+// AblationTension sweeps the cardinal tension parameter s on via testcases —
+// an extension experiment along the paper's future-work axis ("spline
+// types"). s = 0.6 is the paper's operating point; the sweep shows the
+// EPE/PVB sensitivity around it.
+func AblationTension(o Options, tensions []float64) *Table {
+	if len(tensions) == 0 {
+		tensions = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	t := &Table{ID: "Ablation-s", Title: "Cardinal tension sweep on via clips"}
+	proc := newProcess(o)
+	n := o.clipCount(4)
+	for _, s := range tensions {
+		var epe, pvb float64
+		var dur time.Duration
+		for i := 1; i <= n; i++ {
+			clip := layout.ViaClip(i)
+			cfg := core.ViaConfig()
+			cfg.Tension = s
+			if o.Iterations > 0 {
+				cfg.Iterations = o.Iterations
+				cfg.DecayAt = []int{o.Iterations / 2}
+			}
+			start := time.Now()
+			res := core.Optimize(proc.Nominal, clip.Targets, cfg)
+			dur += time.Since(start)
+			e := evaluate(proc, res.Mask.Polygons(cfg.SamplesPerSeg), clip.Targets, 0)
+			epe += e.EPESum
+			pvb += e.PVB
+		}
+		t.Rows = append(t.Rows, Row{
+			Testcase: "V1..V" + itoa(n),
+			Method:   "s=" + ftoa(s),
+			EPE:      epe / float64(n),
+			PVB:      pvb / float64(n),
+			Runtime:  dur,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"extension experiment (not in the paper): sensitivity of CardOPC to the tension parameter; s = 0.6 is the paper's setting")
+	return t
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func ftoa(v float64) string {
+	// One decimal is enough for tension labels.
+	whole := int(v)
+	frac := int((v-float64(whole))*10 + 0.5)
+	if frac == 10 {
+		whole++
+		frac = 0
+	}
+	return itoa(whole) + "." + itoa(frac)
+}

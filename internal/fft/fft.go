@@ -1,0 +1,247 @@
+// Package fft provides hand-written fast Fourier transforms used by the
+// lithography simulator and the pixel ILT engine: an iterative radix-2
+// complex FFT, 2-D transforms parallelised across rows/columns, fftshift
+// helpers and frequency-domain convolution.
+//
+// All transforms are in-place over []complex128 and require power-of-two
+// lengths; Pow2Ceil helps callers pick grid sizes.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// Pow2Ceil returns the smallest power of two >= n (and at least 1).
+func Pow2Ceil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// plan caches bit-reversal permutations and twiddle factors per size.
+type plan struct {
+	n   int
+	rev []int
+	// tw holds e^{-2πi k/n} for k in [0, n/2).
+	tw []complex128
+}
+
+var (
+	planMu sync.RWMutex
+	plans  = map[int]*plan{}
+)
+
+func getPlan(n int) *plan {
+	planMu.RLock()
+	p, ok := plans[n]
+	planMu.RUnlock()
+	if ok {
+		return p
+	}
+	planMu.Lock()
+	defer planMu.Unlock()
+	if p, ok = plans[n]; ok {
+		return p
+	}
+	p = &plan{n: n}
+	p.rev = make([]int, n)
+	shift := bits.LeadingZeros(uint(n)) + 1
+	for i := range p.rev {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> shift)
+	}
+	p.tw = make([]complex128, n/2)
+	for k := range p.tw {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.tw[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	plans[n] = p
+	return p
+}
+
+// Forward computes the in-place forward DFT of x. len(x) must be a power of
+// two.
+func Forward(x []complex128) {
+	transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/n
+// normalisation. len(x) must be a power of two.
+func Inverse(x []complex128) {
+	transform(x, true)
+	n := float64(len(x))
+	for i := range x {
+		x[i] /= complex(n, 0)
+	}
+}
+
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	p := getPlan(n)
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.tw[k*step]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// Grid2 is a dense 2-D complex field of size W×H stored row-major. W and H
+// must be powers of two for transforms.
+type Grid2 struct {
+	W, H int
+	Data []complex128
+}
+
+// NewGrid2 allocates a zeroed W×H grid.
+func NewGrid2(w, h int) *Grid2 {
+	return &Grid2{W: w, H: h, Data: make([]complex128, w*h)}
+}
+
+// At returns the value at (x, y).
+func (g *Grid2) At(x, y int) complex128 { return g.Data[y*g.W+x] }
+
+// Set stores v at (x, y).
+func (g *Grid2) Set(x, y int, v complex128) { g.Data[y*g.W+x] = v }
+
+// Clone returns a deep copy of g.
+func (g *Grid2) Clone() *Grid2 {
+	out := NewGrid2(g.W, g.H)
+	copy(out.Data, g.Data)
+	return out
+}
+
+// Fill sets every element of g to v.
+func (g *Grid2) Fill(v complex128) {
+	for i := range g.Data {
+		g.Data[i] = v
+	}
+}
+
+// parallelRows runs fn(y) for y in [0, h) over a bounded worker pool.
+func parallelRows(h int, fn func(y int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > h {
+		workers = h
+	}
+	if workers <= 1 {
+		for y := 0; y < h; y++ {
+			fn(y)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for y := range rows {
+				fn(y)
+			}
+		}()
+	}
+	for y := 0; y < h; y++ {
+		rows <- y
+	}
+	close(rows)
+	wg.Wait()
+}
+
+// Forward2 computes the in-place forward 2-D DFT of g (rows then columns),
+// parallelised over goroutines.
+func Forward2(g *Grid2) { transform2(g, false) }
+
+// Inverse2 computes the in-place inverse 2-D DFT of g with 1/(W·H)
+// normalisation.
+func Inverse2(g *Grid2) {
+	transform2(g, true)
+	n := complex(float64(g.W*g.H), 0)
+	for i := range g.Data {
+		g.Data[i] /= n
+	}
+}
+
+func transform2(g *Grid2, inverse bool) {
+	// Rows.
+	parallelRows(g.H, func(y int) {
+		transform(g.Data[y*g.W:(y+1)*g.W], inverse)
+	})
+	// Columns: gather, transform, scatter (per column, parallel).
+	parallelRows(g.W, func(x int) {
+		col := make([]complex128, g.H)
+		for y := 0; y < g.H; y++ {
+			col[y] = g.Data[y*g.W+x]
+		}
+		transform(col, inverse)
+		for y := 0; y < g.H; y++ {
+			g.Data[y*g.W+x] = col[y]
+		}
+	})
+}
+
+// Shift2 swaps quadrants in place so the zero-frequency bin moves between
+// corner and centre (self-inverse for even dimensions).
+func Shift2(g *Grid2) {
+	hw, hh := g.W/2, g.H/2
+	for y := 0; y < hh; y++ {
+		for x := 0; x < g.W; x++ {
+			x2 := (x + hw) % g.W
+			y2 := y + hh
+			i, j := y*g.W+x, y2*g.W+x2
+			g.Data[i], g.Data[j] = g.Data[j], g.Data[i]
+		}
+	}
+}
+
+// MulInto sets dst = a ⊙ b elementwise. Grids must share dimensions.
+func MulInto(dst, a, b *Grid2) {
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Convolve computes the circular convolution mask ⊗ kernelFreq where
+// kernelFreq is already in the frequency domain (corner-centred). maskFreq
+// must be the forward transform of the mask; the result is written into a
+// fresh spatial-domain grid.
+func Convolve(maskFreq, kernelFreq *Grid2) *Grid2 {
+	out := NewGrid2(maskFreq.W, maskFreq.H)
+	MulInto(out, maskFreq, kernelFreq)
+	Inverse2(out)
+	return out
+}
+
+// ConvolveInto is Convolve reusing out's storage.
+func ConvolveInto(out, maskFreq, kernelFreq *Grid2) {
+	MulInto(out, maskFreq, kernelFreq)
+	Inverse2(out)
+}

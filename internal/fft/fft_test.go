@@ -1,0 +1,290 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// dft is the O(n²) reference transform.
+func dft(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randComplex(r *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.Float64()*2-1, r.Float64()*2-1)
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestPow2Ceil(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 100: 128, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := Pow2Ceil(in); got != want {
+			t.Errorf("Pow2Ceil(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestForwardMatchesDFT(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randComplex(r, n)
+		want := dft(x)
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: max err = %v", n, e)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := randComplex(r, 512)
+	y := append([]complex128(nil), x...)
+	Forward(y)
+	Inverse(y)
+	if e := maxErr(x, y); e > 1e-10 {
+		t.Errorf("round trip err = %v", e)
+	}
+}
+
+func TestForwardPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two length")
+		}
+	}()
+	Forward(make([]complex128, 6))
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Σ|x|² = (1/n)Σ|X|².
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randComplex(r, 128)
+		var te float64
+		for _, v := range x {
+			te += real(v)*real(v) + imag(v)*imag(v)
+		}
+		X := append([]complex128(nil), x...)
+		Forward(X)
+		var fe float64
+		for _, v := range X {
+			fe += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(te-fe/128) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	x := randComplex(r, 64)
+	y := randComplex(r, 64)
+	// FFT(x+2y) == FFT(x) + 2 FFT(y)
+	sum := make([]complex128, 64)
+	for i := range sum {
+		sum[i] = x[i] + 2*y[i]
+	}
+	Forward(sum)
+	X := append([]complex128(nil), x...)
+	Y := append([]complex128(nil), y...)
+	Forward(X)
+	Forward(Y)
+	for i := range X {
+		X[i] += 2 * Y[i]
+	}
+	if e := maxErr(sum, X); e > 1e-9 {
+		t.Errorf("linearity err = %v", e)
+	}
+}
+
+func TestImpulseIsFlat(t *testing.T) {
+	x := make([]complex128, 32)
+	x[0] = 1
+	Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestGrid2Basics(t *testing.T) {
+	g := NewGrid2(4, 2)
+	g.Set(3, 1, 5)
+	if g.At(3, 1) != 5 {
+		t.Error("Set/At roundtrip failed")
+	}
+	c := g.Clone()
+	c.Set(0, 0, 7)
+	if g.At(0, 0) == 7 {
+		t.Error("Clone must not alias")
+	}
+	g.Fill(2)
+	for _, v := range g.Data {
+		if v != 2 {
+			t.Fatal("Fill failed")
+		}
+	}
+}
+
+func TestForward2RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	g := NewGrid2(32, 16)
+	for i := range g.Data {
+		g.Data[i] = complex(r.Float64(), r.Float64())
+	}
+	orig := g.Clone()
+	Forward2(g)
+	Inverse2(g)
+	if e := maxErr(g.Data, orig.Data); e > 1e-10 {
+		t.Errorf("2D round trip err = %v", e)
+	}
+}
+
+func TestForward2MatchesSeparableDFT(t *testing.T) {
+	// 2-D impulse at origin transforms to an all-ones field.
+	g := NewGrid2(8, 8)
+	g.Set(0, 0, 1)
+	Forward2(g)
+	for i, v := range g.Data {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v", i, v)
+		}
+	}
+}
+
+func TestShift2SelfInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := NewGrid2(16, 8)
+	for i := range g.Data {
+		g.Data[i] = complex(r.Float64(), 0)
+	}
+	orig := g.Clone()
+	Shift2(g)
+	// Centre moved to corner: check one known swap.
+	if g.At(0, 0) != orig.At(8, 4) {
+		t.Error("Shift2 did not move centre to corner")
+	}
+	Shift2(g)
+	if e := maxErr(g.Data, orig.Data); e != 0 {
+		t.Errorf("Shift2 not self-inverse: %v", e)
+	}
+}
+
+func TestConvolveDelta(t *testing.T) {
+	// Convolving with a delta at the origin is the identity.
+	r := rand.New(rand.NewSource(6))
+	mask := NewGrid2(16, 16)
+	for i := range mask.Data {
+		mask.Data[i] = complex(r.Float64(), 0)
+	}
+	orig := mask.Clone()
+	kernel := NewGrid2(16, 16)
+	kernel.Set(0, 0, 1)
+	Forward2(mask)
+	Forward2(kernel)
+	out := Convolve(mask, kernel)
+	if e := maxErr(out.Data, orig.Data); e > 1e-10 {
+		t.Errorf("delta convolution err = %v", e)
+	}
+}
+
+func TestConvolveShift(t *testing.T) {
+	// Convolving with a delta at (dx, dy) shifts the image circularly.
+	mask := NewGrid2(8, 8)
+	mask.Set(2, 3, 1)
+	kernel := NewGrid2(8, 8)
+	kernel.Set(1, 2, 1)
+	Forward2(mask)
+	Forward2(kernel)
+	out := Convolve(mask, kernel)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			want := complex128(0)
+			if x == 3 && y == 5 {
+				want = 1
+			}
+			if cmplx.Abs(out.At(x, y)-want) > 1e-10 {
+				t.Errorf("(%d,%d) = %v, want %v", x, y, out.At(x, y), want)
+			}
+		}
+	}
+}
+
+func TestConvolveInto(t *testing.T) {
+	mask := NewGrid2(8, 8)
+	mask.Set(1, 1, 1)
+	kernel := NewGrid2(8, 8)
+	kernel.Set(0, 0, 2)
+	Forward2(mask)
+	Forward2(kernel)
+	out := NewGrid2(8, 8)
+	ConvolveInto(out, mask, kernel)
+	if cmplx.Abs(out.At(1, 1)-2) > 1e-10 {
+		t.Errorf("ConvolveInto = %v, want 2", out.At(1, 1))
+	}
+}
+
+func BenchmarkForward1024(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randComplex(r, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(x)
+	}
+}
+
+func BenchmarkForward2_256(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g := NewGrid2(256, 256)
+	for i := range g.Data {
+		g.Data[i] = complex(r.Float64(), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward2(g)
+	}
+}

@@ -1,0 +1,172 @@
+// Package fit implements Algorithm 1 of the paper: fitting ILT-optimised
+// mask images with cardinal splines. Shape boundaries are extracted with
+// Suzuki border following, control points Q and reference points R are
+// sampled evenly from each boundary, and Q is optimised by Adam on the
+// mean-squared distance between the spline interpolation F(Q) and R.
+// Because the cardinal spline is linear in its control points, the gradient
+// ∂L/∂Q is exact and cheap (no autodiff needed).
+package fit
+
+import (
+	"math"
+
+	"cardopc/internal/geom"
+	"cardopc/internal/optim"
+	"cardopc/internal/raster"
+	"cardopc/internal/spline"
+)
+
+// Config tunes the fitting algorithm.
+type Config struct {
+	// RQ is r_Q: the fraction of boundary points kept as control points.
+	RQ float64
+	// RR is r_R: the fraction of boundary points kept as reference points.
+	RR float64
+	// Iterations is K, the gradient-descent iteration count.
+	Iterations int
+	// LR is the Adam learning rate α.
+	LR float64
+	// Tension is the cardinal spline tension.
+	Tension float64
+	// MinBoundary drops shapes whose traced boundary has fewer points
+	// (noise specks that the MRC area rule would delete anyway).
+	MinBoundary int
+	// MinCtrl floors the number of control points per shape.
+	MinCtrl int
+}
+
+// DefaultConfig returns the fitting settings used by the hybrid experiments.
+func DefaultConfig() Config {
+	return Config{
+		RQ:          0.18,
+		RR:          0.9,
+		Iterations:  300,
+		LR:          0.5,
+		Tension:     spline.DefaultTension,
+		MinBoundary: 8,
+		MinCtrl:     6,
+	}
+}
+
+// Shape is one fitted control loop.
+type Shape struct {
+	// Ctrl are the optimised control points.
+	Ctrl []geom.Pt
+	// Loss is the final mean squared fitting error (nm² per reference
+	// point).
+	Loss float64
+	// Hole marks loops traced from hole borders.
+	Hole bool
+}
+
+// FitMask extracts every shape boundary from the binary mask image with
+// Suzuki border following and fits a cardinal-spline control loop to each
+// (Algorithm 1, as the paper implements it with OpenCV). Hole borders are
+// fitted too and flagged.
+//
+// Note: Suzuki traces through pixel centres, which under-covers features by
+// half a pixel per side — significant for the few-pixel decorations of ILT
+// masks on coarse rasters. The hybrid flow therefore prefers FitField,
+// which fits sub-pixel iso-contours instead; FitMask remains for binary
+// inputs and for fidelity to the cited algorithm.
+func FitMask(bin *raster.Binary, cfg Config) []Shape {
+	var out []Shape
+	for _, c := range raster.TraceBoundaries(bin) {
+		if len(c.Pts) < cfg.MinBoundary {
+			continue
+		}
+		ctrl, loss := FitContour(c.Pts, cfg)
+		out = append(out, Shape{Ctrl: ctrl, Loss: loss, Hole: c.Hole})
+	}
+	return out
+}
+
+// FitField fits every iso-contour of the continuous mask field at threshold
+// th. Marching squares yields sub-pixel boundaries, so thin ILT decorations
+// keep their true width. Hole loops are detected by orientation: the tracer
+// keeps the >= th region on the *right*, so outer boundaries come out
+// clockwise and holes counter-clockwise. All control loops are normalised
+// to counter-clockwise.
+func FitField(mask *raster.Field, th float64, cfg Config) []Shape {
+	var out []Shape
+	for _, poly := range raster.MarchingSquares(mask, th) {
+		if len(poly) < cfg.MinBoundary {
+			continue
+		}
+		ccw := poly.SignedArea() > 0
+		hole := ccw
+		if !ccw {
+			poly = poly.Clone()
+			poly.Reverse()
+		}
+		ctrl, loss := FitContour(poly, cfg)
+		out = append(out, Shape{Ctrl: ctrl, Loss: loss, Hole: hole})
+	}
+	return out
+}
+
+// FitContour fits one closed boundary polyline (Algorithm 1 lines 5–14) and
+// returns the optimised control points and the final MSE loss.
+func FitContour(boundary geom.Polygon, cfg Config) ([]geom.Pt, float64) {
+	nq := int(math.Round(cfg.RQ * float64(len(boundary))))
+	if nq < cfg.MinCtrl {
+		nq = cfg.MinCtrl
+	}
+	nr := int(math.Round(cfg.RR * float64(len(boundary))))
+	if nr < nq*2 {
+		nr = nq * 2
+	}
+
+	// Lines 6–7: sample Q and R evenly from the boundary.
+	q := resamplePts(boundary, nq)
+	r := resamplePts(boundary, nr)
+
+	// Precompute the linear operator rows: F(Q)_j = Σ_c W_jc · Q_idx(j,c).
+	rows := spline.InterpolateWeights(nq, cfg.Tension, nr)
+
+	// Flatten Q into the parameter vector [x0 y0 x1 y1 ...].
+	params := make([]float64, 2*nq)
+	for i, p := range q {
+		params[2*i] = p.X
+		params[2*i+1] = p.Y
+	}
+	grad := make([]float64, len(params))
+	opt := optim.NewAdam(cfg.LR)
+
+	loss := 0.0
+	for it := 0; it < cfg.Iterations; it++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		loss = 0
+		for j, row := range rows {
+			var fx, fy float64
+			for c := 0; c < 4; c++ {
+				idx := ((row.Seg-1+c)%nq + nq) % nq
+				fx += row.W[c] * params[2*idx]
+				fy += row.W[c] * params[2*idx+1]
+			}
+			dx := fx - r[j].X
+			dy := fy - r[j].Y
+			loss += dx*dx + dy*dy
+			for c := 0; c < 4; c++ {
+				idx := ((row.Seg-1+c)%nq + nq) % nq
+				grad[2*idx] += 2 * dx * row.W[c]
+				grad[2*idx+1] += 2 * dy * row.W[c]
+			}
+		}
+		opt.Step(params, grad)
+	}
+
+	out := make([]geom.Pt, nq)
+	for i := range out {
+		out[i] = geom.P(params[2*i], params[2*i+1])
+	}
+	return out, loss / float64(nr)
+}
+
+// resamplePts picks n points evenly spaced by arc length along the closed
+// boundary.
+func resamplePts(boundary geom.Polygon, n int) []geom.Pt {
+	return []geom.Pt(boundary.Resample(n))
+}

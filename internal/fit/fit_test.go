@@ -1,0 +1,134 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"cardopc/internal/geom"
+	"cardopc/internal/raster"
+	"cardopc/internal/spline"
+)
+
+func circleBoundary(c geom.Pt, radius float64, n int) geom.Polygon {
+	pts := make(geom.Polygon, n)
+	for i := range pts {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = geom.P(c.X+radius*math.Cos(a), c.Y+radius*math.Sin(a))
+	}
+	return pts
+}
+
+func TestFitContourCircle(t *testing.T) {
+	boundary := circleBoundary(geom.P(200, 200), 80, 120)
+	cfg := DefaultConfig()
+	ctrl, loss := FitContour(boundary, cfg)
+	if len(ctrl) < cfg.MinCtrl {
+		t.Fatalf("control points = %d", len(ctrl))
+	}
+	// Loss per reference point under 1 nm² (sub-nm fit).
+	if loss > 1 {
+		t.Errorf("final loss = %v nm² per point", loss)
+	}
+	// The fitted spline reproduces the circle's area within 2%.
+	got := spline.NewCurve(ctrl, cfg.Tension).Sample(8).Area()
+	want := math.Pi * 80 * 80
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("fitted area = %v, want ~%v", got, want)
+	}
+}
+
+func TestFitContourLossDecreases(t *testing.T) {
+	boundary := circleBoundary(geom.P(100, 100), 50, 80)
+	short := DefaultConfig()
+	short.Iterations = 2
+	long := DefaultConfig()
+	long.Iterations = 200
+	_, lossShort := FitContour(boundary, short)
+	_, lossLong := FitContour(boundary, long)
+	if lossLong >= lossShort {
+		t.Errorf("more iterations did not help: %v -> %v", lossShort, lossLong)
+	}
+}
+
+func TestFitContourSquare(t *testing.T) {
+	// A square boundary with many samples: fit should track the corners to
+	// within a few nm.
+	sq := geom.Rect{Min: geom.P(100, 100), Max: geom.P(300, 300)}.Poly().Resample(160)
+	cfg := DefaultConfig()
+	ctrl, _ := FitContour(sq, cfg)
+	fitted := spline.NewCurve(ctrl, cfg.Tension).Sample(8)
+	want := 200.0 * 200.0
+	if math.Abs(fitted.Area()-want)/want > 0.03 {
+		t.Errorf("fitted square area = %v, want ~%v", fitted.Area(), want)
+	}
+}
+
+func TestFitMaskFromBinaryImage(t *testing.T) {
+	g := raster.Grid{Size: 128, Pitch: 4}
+	bin := raster.NewBinary(g)
+	// Two filled discs.
+	for _, c := range []geom.Pt{{X: 120, Y: 120}, {X: 380, Y: 380}} {
+		for y := 0; y < g.Size; y++ {
+			for x := 0; x < g.Size; x++ {
+				if g.ToWorld(float64(x), float64(y)).Dist(c) <= 60 {
+					bin.Set(x, y, 1)
+				}
+			}
+		}
+	}
+	shapes := FitMask(bin, DefaultConfig())
+	if len(shapes) != 2 {
+		t.Fatalf("fitted %d shapes, want 2", len(shapes))
+	}
+	for i, s := range shapes {
+		if s.Hole {
+			t.Errorf("shape %d flagged as hole", i)
+		}
+		area := spline.NewCurve(s.Ctrl, DefaultConfig().Tension).Sample(8).Area()
+		want := math.Pi * 60 * 60
+		if math.Abs(area-want)/want > 0.1 {
+			t.Errorf("shape %d area = %v, want ~%v", i, area, want)
+		}
+	}
+}
+
+func TestFitMaskDetectsHoles(t *testing.T) {
+	g := raster.Grid{Size: 96, Pitch: 4}
+	bin := raster.NewBinary(g)
+	for y := 5; y < 90; y++ {
+		for x := 5; x < 90; x++ {
+			bin.Set(x, y, 1)
+		}
+	}
+	for y := 40; y < 56; y++ {
+		for x := 40; x < 56; x++ {
+			bin.Set(x, y, 0)
+		}
+	}
+	shapes := FitMask(bin, DefaultConfig())
+	holes := 0
+	for _, s := range shapes {
+		if s.Hole {
+			holes++
+		}
+	}
+	if len(shapes) != 2 || holes != 1 {
+		t.Errorf("shapes = %d, holes = %d", len(shapes), holes)
+	}
+}
+
+func TestFitMaskSkipsSpecks(t *testing.T) {
+	g := raster.Grid{Size: 64, Pitch: 4}
+	bin := raster.NewBinary(g)
+	bin.Set(10, 10, 1) // single-pixel speck
+	if shapes := FitMask(bin, DefaultConfig()); len(shapes) != 0 {
+		t.Errorf("speck fitted: %d shapes", len(shapes))
+	}
+}
+
+func TestResampleCount(t *testing.T) {
+	b := circleBoundary(geom.P(0, 0), 30, 90)
+	if got := resamplePts(b, 20); len(got) != 20 {
+		t.Errorf("resample = %d points", len(got))
+	}
+}

@@ -1,0 +1,103 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"cardopc/internal/geom"
+	"cardopc/internal/raster"
+	"cardopc/internal/spline"
+)
+
+// discField renders a soft disc of the given radius into a field.
+func discField(g raster.Grid, c geom.Pt, radius float64) *raster.Field {
+	f := raster.NewField(g)
+	for y := 0; y < g.Size; y++ {
+		for x := 0; x < g.Size; x++ {
+			d := g.ToWorld(float64(x), float64(y)).Dist(c)
+			f.Set(x, y, 1/(1+math.Exp((d-radius)/2)))
+		}
+	}
+	return f
+}
+
+func TestFitFieldDisc(t *testing.T) {
+	g := raster.Grid{Size: 128, Pitch: 4}
+	f := discField(g, geom.P(256, 256), 100)
+	shapes := FitField(f, 0.5, DefaultConfig())
+	if len(shapes) != 1 {
+		t.Fatalf("shapes = %d, want 1", len(shapes))
+	}
+	if shapes[0].Hole {
+		t.Error("disc fitted as hole")
+	}
+	area := spline.NewCurve(shapes[0].Ctrl, DefaultConfig().Tension).Sample(8).Area()
+	want := math.Pi * 100 * 100
+	if math.Abs(area-want)/want > 0.03 {
+		t.Errorf("area = %v, want ~%v", area, want)
+	}
+	// Control loops come out counter-clockwise.
+	loop := spline.NewCurve(shapes[0].Ctrl, DefaultConfig().Tension).Sample(4)
+	if loop.SignedArea() <= 0 {
+		t.Error("fitted loop must be CCW")
+	}
+}
+
+func TestFitFieldDetectsHole(t *testing.T) {
+	g := raster.Grid{Size: 128, Pitch: 4}
+	f := raster.NewField(g)
+	c := geom.P(256, 256)
+	// Annulus: solid between r=40 and r=110.
+	for y := 0; y < g.Size; y++ {
+		for x := 0; x < g.Size; x++ {
+			d := g.ToWorld(float64(x), float64(y)).Dist(c)
+			v := 1 / (1 + math.Exp((d-110)/2))
+			v *= 1 / (1 + math.Exp((40-d)/2))
+			f.Set(x, y, v)
+		}
+	}
+	shapes := FitField(f, 0.5, DefaultConfig())
+	if len(shapes) != 2 {
+		t.Fatalf("shapes = %d, want outer + hole", len(shapes))
+	}
+	holes := 0
+	for _, s := range shapes {
+		if s.Hole {
+			holes++
+			area := spline.NewCurve(s.Ctrl, DefaultConfig().Tension).Sample(8).Area()
+			want := math.Pi * 40 * 40
+			if math.Abs(area-want)/want > 0.1 {
+				t.Errorf("hole area = %v, want ~%v", area, want)
+			}
+		}
+	}
+	if holes != 1 {
+		t.Errorf("holes = %d", holes)
+	}
+}
+
+func TestFitFieldSubPixelThinFeature(t *testing.T) {
+	// A 1.5-pixel-wide bar: Suzuki-based FitMask collapses it, FitField
+	// keeps its width. This is the fidelity property that makes the hybrid
+	// flow work on coarse rasters.
+	g := raster.Grid{Size: 128, Pitch: 4}
+	f := raster.NewField(g)
+	bar := geom.Rect{Min: geom.P(100, 250), Max: geom.P(400, 256)}.Poly() // 6 nm tall
+	f.FillPolygon(bar, 8)
+	shapes := FitField(f, 0.5, DefaultConfig())
+	if len(shapes) != 1 {
+		t.Fatalf("shapes = %d", len(shapes))
+	}
+	area := spline.NewCurve(shapes[0].Ctrl, DefaultConfig().Tension).Sample(8).Area()
+	want := bar.Area()
+	if math.Abs(area-want)/want > 0.25 {
+		t.Errorf("thin bar area = %v, want ~%v", area, want)
+	}
+}
+
+func TestFitFieldEmpty(t *testing.T) {
+	g := raster.Grid{Size: 32, Pitch: 4}
+	if shapes := FitField(raster.NewField(g), 0.5, DefaultConfig()); len(shapes) != 0 {
+		t.Errorf("empty field fitted %d shapes", len(shapes))
+	}
+}

@@ -1,0 +1,285 @@
+// Package gds implements a minimal GDSII stream-format writer and reader —
+// enough to exchange mask polygons with downstream EDA tools (BOUNDARY
+// elements in one structure, one layer). GDSII is the lingua franca of mask
+// shops; a curvilinear OPC flow that cannot emit it is not adoptable.
+//
+// The subset implemented: HEADER, BGNLIB, LIBNAME, UNITS, BGNSTR, STRNAME,
+// BOUNDARY, LAYER, DATATYPE, XY, ENDEL, ENDSTR, ENDLIB. Coordinates are
+// 32-bit integers in database units (1 DBU = 1 nm by default).
+package gds
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cardopc/internal/geom"
+)
+
+// Record types of the GDSII subset.
+const (
+	recHEADER   = 0x0002
+	recBGNLIB   = 0x0102
+	recLIBNAME  = 0x0206
+	recUNITS    = 0x0305
+	recENDLIB   = 0x0400
+	recBGNSTR   = 0x0502
+	recSTRNAME  = 0x0606
+	recENDSTR   = 0x0700
+	recBOUNDARY = 0x0800
+	recLAYER    = 0x0D02
+	recDATATYPE = 0x0E02
+	recXY       = 0x1003
+	recENDEL    = 0x1100
+)
+
+// Library is a single-structure GDSII library.
+type Library struct {
+	// Name is the library name (LIBNAME).
+	Name string
+	// StructName is the single structure's name (STRNAME).
+	StructName string
+	// DBUPerNM is how many database units one nanometre maps to
+	// (default 1).
+	DBUPerNM float64
+	// Layer / Datatype tag every boundary element.
+	Layer, Datatype int16
+	// Polys are the boundary polygons in nm coordinates.
+	Polys []geom.Polygon
+}
+
+// NewLibrary returns a library with conventional defaults.
+func NewLibrary(name string, polys []geom.Polygon) *Library {
+	return &Library{
+		Name:       name,
+		StructName: "TOP",
+		DBUPerNM:   1,
+		Layer:      1,
+		Datatype:   0,
+		Polys:      polys,
+	}
+}
+
+// Write streams the library in GDSII format.
+func (l *Library) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	dbu := l.DBUPerNM
+	if dbu <= 0 {
+		dbu = 1
+	}
+
+	// HEADER: version 600.
+	writeRecord(bw, recHEADER, int16Bytes(600))
+	// BGNLIB: twelve int16 timestamps (zeroed: deterministic output).
+	writeRecord(bw, recBGNLIB, make([]byte, 24))
+	writeRecord(bw, recLIBNAME, asciiBytes(l.Name))
+	// UNITS: user units per DBU, metres per DBU. 1 DBU = 1/dbu nm.
+	units := make([]byte, 16)
+	putFloat64GDS(units[0:8], 1e-3/dbu)  // user unit (µm) per DBU
+	putFloat64GDS(units[8:16], 1e-9/dbu) // metres per DBU
+	writeRecord(bw, recUNITS, units)
+
+	writeRecord(bw, recBGNSTR, make([]byte, 24))
+	writeRecord(bw, recSTRNAME, asciiBytes(l.StructName))
+	for _, p := range l.Polys {
+		if len(p) < 3 {
+			continue
+		}
+		writeRecord(bw, recBOUNDARY, nil)
+		writeRecord(bw, recLAYER, int16Bytes(l.Layer))
+		writeRecord(bw, recDATATYPE, int16Bytes(l.Datatype))
+		// XY: closed ring — first point repeated last.
+		xy := make([]byte, 8*(len(p)+1))
+		for i := 0; i <= len(p); i++ {
+			pt := p[i%len(p)]
+			binary.BigEndian.PutUint32(xy[8*i:], uint32(int32(math.Round(pt.X*dbu))))
+			binary.BigEndian.PutUint32(xy[8*i+4:], uint32(int32(math.Round(pt.Y*dbu))))
+		}
+		writeRecord(bw, recXY, xy)
+		writeRecord(bw, recENDEL, nil)
+	}
+	writeRecord(bw, recENDSTR, nil)
+	writeRecord(bw, recENDLIB, nil)
+	return bw.Flush()
+}
+
+// Read parses a GDSII stream written by this package (or any stream using
+// the same subset: all BOUNDARY elements of every structure are collected).
+func Read(r io.Reader) (*Library, error) {
+	br := bufio.NewReader(r)
+	lib := &Library{DBUPerNM: 1, Layer: 1}
+	var cur geom.Polygon
+	inBoundary := false
+	nmPerDBU := 1.0
+
+	for {
+		rt, data, err := readRecord(br)
+		if err == io.EOF {
+			return nil, fmt.Errorf("gds: missing ENDLIB")
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rt {
+		case recHEADER, recBGNLIB, recBGNSTR, recENDSTR:
+			// structural records: nothing to capture
+		case recLIBNAME:
+			lib.Name = asciiString(data)
+		case recSTRNAME:
+			lib.StructName = asciiString(data)
+		case recUNITS:
+			if len(data) != 16 {
+				return nil, fmt.Errorf("gds: UNITS record of %d bytes", len(data))
+			}
+			metresPerDBU := float64GDS(data[8:16])
+			nmPerDBU = metresPerDBU / 1e-9
+			if nmPerDBU > 0 {
+				lib.DBUPerNM = 1 / nmPerDBU
+			}
+		case recBOUNDARY:
+			inBoundary = true
+			cur = nil
+		case recLAYER:
+			if len(data) >= 2 {
+				lib.Layer = int16(binary.BigEndian.Uint16(data))
+			}
+		case recDATATYPE:
+			if len(data) >= 2 {
+				lib.Datatype = int16(binary.BigEndian.Uint16(data))
+			}
+		case recXY:
+			if !inBoundary {
+				continue
+			}
+			if len(data)%8 != 0 {
+				return nil, fmt.Errorf("gds: XY record of %d bytes", len(data))
+			}
+			n := len(data) / 8
+			for i := 0; i < n; i++ {
+				x := int32(binary.BigEndian.Uint32(data[8*i:]))
+				y := int32(binary.BigEndian.Uint32(data[8*i+4:]))
+				cur = append(cur, geom.P(float64(x)*nmPerDBU, float64(y)*nmPerDBU))
+			}
+		case recENDEL:
+			if inBoundary {
+				// Drop the duplicated closing point.
+				if len(cur) >= 2 && cur[0] == cur[len(cur)-1] {
+					cur = cur[:len(cur)-1]
+				}
+				if len(cur) >= 3 {
+					lib.Polys = append(lib.Polys, cur)
+				}
+				inBoundary = false
+			}
+		case recENDLIB:
+			return lib, nil
+		default:
+			// Unknown records are skipped (forward compatibility).
+		}
+	}
+}
+
+// writeRecord emits one GDSII record: length (incl. 4-byte header), type,
+// payload.
+func writeRecord(w *bufio.Writer, rt uint16, data []byte) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], uint16(4+len(data)))
+	binary.BigEndian.PutUint16(hdr[2:4], rt)
+	w.Write(hdr[:])
+	w.Write(data)
+}
+
+// readRecord parses one record.
+func readRecord(r *bufio.Reader) (uint16, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.BigEndian.Uint16(hdr[0:2])
+	rt := binary.BigEndian.Uint16(hdr[2:4])
+	if length < 4 {
+		return 0, nil, fmt.Errorf("gds: record length %d", length)
+	}
+	data := make([]byte, length-4)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return 0, nil, err
+	}
+	return rt, data, nil
+}
+
+func int16Bytes(v int16) []byte {
+	b := make([]byte, 2)
+	binary.BigEndian.PutUint16(b, uint16(v))
+	return b
+}
+
+// asciiBytes pads to even length with a NUL, per the GDSII spec.
+func asciiBytes(s string) []byte {
+	b := []byte(s)
+	if len(b)%2 == 1 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func asciiString(b []byte) string {
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}
+
+// putFloat64GDS encodes an IEEE float64 as GDSII 8-byte excess-64
+// hexadecimal floating point: SEEEEEEE MMMM...M with value
+// 0.M × 16^(E-64).
+func putFloat64GDS(dst []byte, v float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if v == 0 {
+		return
+	}
+	sign := byte(0)
+	if v < 0 {
+		sign = 0x80
+		v = -v
+	}
+	// Normalise mantissa into [1/16, 1).
+	exp := 0
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	dst[0] = sign | byte(exp+64)
+	// 56-bit mantissa.
+	m := v
+	for i := 1; i < 8; i++ {
+		m *= 256
+		d := math.Floor(m)
+		dst[i] = byte(d)
+		m -= d
+	}
+}
+
+// float64GDS decodes the GDSII excess-64 float format.
+func float64GDS(b []byte) float64 {
+	if len(b) != 8 {
+		return 0
+	}
+	sign := 1.0
+	if b[0]&0x80 != 0 {
+		sign = -1
+	}
+	exp := int(b[0]&0x7F) - 64
+	m := 0.0
+	for i := 7; i >= 1; i-- {
+		m = (m + float64(b[i])) / 256
+	}
+	return sign * m * math.Pow(16, float64(exp))
+}

@@ -1,0 +1,179 @@
+package gds
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cardopc/internal/geom"
+)
+
+func samplePolys() []geom.Polygon {
+	return []geom.Polygon{
+		geom.Rect{Min: geom.P(0, 0), Max: geom.P(100, 50)}.Poly(),
+		{geom.P(200, 200), geom.P(300, 210), geom.P(260, 320)},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	lib := NewLibrary("CARDOPC", samplePolys())
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "CARDOPC" || got.StructName != "TOP" {
+		t.Errorf("names: %q / %q", got.Name, got.StructName)
+	}
+	if got.Layer != 1 {
+		t.Errorf("layer = %d", got.Layer)
+	}
+	if len(got.Polys) != 2 {
+		t.Fatalf("polys = %d", len(got.Polys))
+	}
+	for i, p := range got.Polys {
+		want := samplePolys()[i]
+		if len(p) != len(want) {
+			t.Fatalf("poly %d: %d points, want %d", i, len(p), len(want))
+		}
+		for j := range p {
+			if !p[j].ApproxEq(want[j], 0.51) { // 1 DBU rounding
+				t.Errorf("poly %d point %d: %v vs %v", i, j, p[j], want[j])
+			}
+		}
+	}
+}
+
+func TestSubNanometreDBU(t *testing.T) {
+	lib := NewLibrary("FINE", []geom.Polygon{
+		{geom.P(0.25, 0), geom.P(10.75, 0.5), geom.P(5, 9.25)},
+	})
+	lib.DBUPerNM = 4 // 0.25 nm resolution
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.DBUPerNM-4) > 1e-9 {
+		t.Errorf("DBUPerNM = %v", got.DBUPerNM)
+	}
+	if !got.Polys[0][0].ApproxEq(geom.P(0.25, 0), 1e-9) {
+		t.Errorf("sub-nm point lost: %v", got.Polys[0][0])
+	}
+}
+
+func TestSkipsDegeneratePolys(t *testing.T) {
+	lib := NewLibrary("X", []geom.Polygon{{geom.P(0, 0), geom.P(1, 1)}})
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Polys) != 0 {
+		t.Errorf("degenerate polygon survived: %d", len(got.Polys))
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	lib := NewLibrary("DET", samplePolys())
+	var a, b bytes.Buffer
+	lib.Write(&a)
+	lib.Write(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("output not byte-identical across writes")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Truncated stream.
+	lib := NewLibrary("T", samplePolys())
+	var buf bytes.Buffer
+	lib.Write(&buf)
+	trunc := buf.Bytes()[:buf.Len()-6]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	// Garbage header.
+	if _, err := Read(strings.NewReader("not a gds file")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Empty stream.
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail")
+	}
+}
+
+func TestGDSFloatRoundTrip(t *testing.T) {
+	cases := []float64{0, 1, -1, 0.001, 1e-9, 2.5e-10, 1e-3, 123456.789, -0.00025}
+	for _, v := range cases {
+		var b [8]byte
+		putFloat64GDS(b[:], v)
+		got := float64GDS(b[:])
+		if v == 0 {
+			if got != 0 {
+				t.Errorf("zero round trip = %v", got)
+			}
+			continue
+		}
+		if math.Abs(got-v)/math.Abs(v) > 1e-12 {
+			t.Errorf("float %v round trips to %v", v, got)
+		}
+	}
+}
+
+func TestGDSFloatRandomRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		v := (r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(12)-6))
+		var b [8]byte
+		putFloat64GDS(b[:], v)
+		got := float64GDS(b[:])
+		if v == 0 {
+			continue
+		}
+		if math.Abs(got-v)/math.Abs(v) > 1e-12 {
+			t.Fatalf("float %v round trips to %v", v, got)
+		}
+	}
+}
+
+func TestClosedRingConvention(t *testing.T) {
+	// The XY record must repeat the first point: verify at byte level.
+	lib := NewLibrary("RING", []geom.Polygon{
+		geom.Rect{Min: geom.P(0, 0), Max: geom.P(10, 10)}.Poly(),
+	})
+	var buf bytes.Buffer
+	lib.Write(&buf)
+	// Re-read raw records and find XY.
+	br := bytes.NewReader(buf.Bytes())
+	for {
+		var hdr [4]byte
+		if _, err := br.Read(hdr[:]); err != nil {
+			t.Fatal("XY record not found")
+		}
+		length := int(hdr[0])<<8 | int(hdr[1])
+		rt := int(hdr[2])<<8 | int(hdr[3])
+		data := make([]byte, length-4)
+		br.Read(data)
+		if rt == recXY {
+			if len(data) != 8*5 {
+				t.Fatalf("XY bytes = %d, want 40 (4 corners + closing point)", len(data))
+			}
+			if !bytes.Equal(data[:8], data[32:40]) {
+				t.Error("ring not closed: first and last points differ")
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package geom provides planar geometry primitives used throughout the
+// CardOPC framework: points and vectors in nanometre coordinates, polygons
+// with shoelace area and containment tests, segments with intersection and
+// distance predicates, and axis-aligned bounding boxes.
+//
+// All coordinates are float64 nanometres. The package is allocation-light and
+// safe for concurrent read-only use.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pt is a point (or free vector) in the plane, in nanometres.
+type Pt struct {
+	X, Y float64
+}
+
+// P is shorthand for constructing a point.
+func P(x, y float64) Pt { return Pt{x, y} }
+
+// Add returns p + q.
+func (p Pt) Add(q Pt) Pt { return Pt{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Pt) Sub(q Pt) Pt { return Pt{p.X - q.X, p.Y - q.Y} }
+
+// Mul returns the scalar product k*p.
+func (p Pt) Mul(k float64) Pt { return Pt{p.X * k, p.Y * k} }
+
+// Dot returns the dot product p·q.
+func (p Pt) Dot(q Pt) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z component of the cross product p × q.
+func (p Pt) Cross(q Pt) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Pt) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean length of p.
+func (p Pt) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Pt) Dist(q Pt) float64 { return p.Sub(q).Norm() }
+
+// Unit returns p scaled to unit length. The zero vector is returned
+// unchanged.
+func (p Pt) Unit() Pt {
+	n := p.Norm()
+	if n == 0 {
+		return p
+	}
+	return Pt{p.X / n, p.Y / n}
+}
+
+// Perp returns p rotated +90 degrees (counter-clockwise): (-y, x).
+func (p Pt) Perp() Pt { return Pt{-p.Y, p.X} }
+
+// Lerp returns the linear interpolation p + t*(q-p).
+func (p Pt) Lerp(q Pt, t float64) Pt {
+	return Pt{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y)}
+}
+
+// String implements fmt.Stringer.
+func (p Pt) String() string { return fmt.Sprintf("(%.3g,%.3g)", p.X, p.Y) }
+
+// ApproxEq reports whether p and q coincide within tol in both coordinates.
+func (p Pt) ApproxEq(q Pt, tol float64) bool {
+	return math.Abs(p.X-q.X) <= tol && math.Abs(p.Y-q.Y) <= tol
+}

@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPtArith(t *testing.T) {
+	a := P(1, 2)
+	b := P(3, -4)
+	if got := a.Add(b); got != P(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != P(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(2); got != P(2, 4) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestPtNorm(t *testing.T) {
+	if got := P(3, 4).Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := P(3, 4).Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v, want 25", got)
+	}
+	if got := P(3, 4).Dist(P(0, 0)); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := P(3, 4).Unit()
+	if math.Abs(u.Norm()-1) > 1e-12 {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if got := (Pt{}).Unit(); got != (Pt{}) {
+		t.Errorf("Unit of zero = %v, want zero", got)
+	}
+}
+
+func TestPerp(t *testing.T) {
+	p := P(1, 0)
+	if got := p.Perp(); got != P(0, 1) {
+		t.Errorf("Perp = %v", got)
+	}
+	// Perp is a +90 rotation: cross(p, perp(p)) = |p|^2 > 0.
+	q := P(2, 5)
+	if got := q.Cross(q.Perp()); got != q.Norm2() {
+		t.Errorf("cross with perp = %v, want %v", got, q.Norm2())
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := P(0, 0), P(10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != P(5, 10) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestApproxEq(t *testing.T) {
+	if !P(1, 1).ApproxEq(P(1+1e-10, 1-1e-10), 1e-9) {
+		t.Error("expected approx equal")
+	}
+	if P(1, 1).ApproxEq(P(1.1, 1), 1e-9) {
+		t.Error("expected not approx equal")
+	}
+}
+
+// Property: unit vectors have norm 1 (or are zero).
+func TestUnitNormProperty(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		p := P(x, y)
+		n := p.Unit().Norm()
+		return n == 0 || math.Abs(n-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dot of perpendicular vectors is zero.
+func TestPerpOrthogonalProperty(t *testing.T) {
+	f := func(xi, yi int32) bool {
+		p := P(float64(xi), float64(yi))
+		return p.Dot(p.Perp()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for Dist.
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := P(float64(ax), float64(ay))
+		b := P(float64(bx), float64(by))
+		c := P(float64(cx), float64(cy))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

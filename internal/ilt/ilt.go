@@ -1,0 +1,151 @@
+// Package ilt implements a pixel-based inverse lithography engine in the
+// style of OpenILT / MOSAIC (paper refs [21], [36]): the mask is a
+// sigmoid-relaxed pixel field optimised by gradient descent through the
+// differentiable imaging + resist model. It is the substrate for the
+// paper's ILT–OPC hybrid flow (§III-G) and the Fig. 7 comparison.
+package ilt
+
+import (
+	"math"
+
+	"cardopc/internal/litho"
+	"cardopc/internal/optim"
+	"cardopc/internal/raster"
+)
+
+// Config tunes the ILT solver.
+type Config struct {
+	// Iterations of gradient descent.
+	Iterations int
+	// LR is the Adam learning rate on the latent pixels.
+	LR float64
+	// MaskSteepness is the sigmoid slope relaxing latent θ to mask
+	// transmission M = σ(MaskSteepness·θ).
+	MaskSteepness float64
+	// ResistSteepness is the sigmoid slope of the resist model
+	// Z = σ(ResistSteepness·(I - Ith)).
+	ResistSteepness float64
+	// InitInside / InitOutside are the initial latent values for pixels
+	// inside and outside the target.
+	InitInside, InitOutside float64
+	// AreaPenalty is the mask-complexity regulariser weight: it adds
+	// AreaPenalty·Σ M to the loss, shrinking transmission the imaging
+	// objective does not need (sub-printing junk is otherwise loss-free
+	// under a sharp resist model).
+	AreaPenalty float64
+}
+
+// DefaultConfig returns solver settings tuned on this repository's imager:
+// a sharp resist sigmoid (β=120) concentrates the loss at the printed
+// contour, and the matching low learning rate keeps Adam stable. (OpenILT's
+// softer β=30/lr=0.6 plateaus ~6x higher on the binary-L2 metric here.)
+func DefaultConfig() Config {
+	return Config{
+		Iterations:      200,
+		LR:              0.2,
+		MaskSteepness:   4,
+		ResistSteepness: 120,
+		InitInside:      1,
+		InitOutside:     -1,
+		AreaPenalty:     0.005,
+	}
+}
+
+// Result is one ILT run.
+type Result struct {
+	// Mask is the final continuous mask transmission in [0,1].
+	Mask *raster.Field
+	// BinaryMask is Mask thresholded at 0.5.
+	BinaryMask *raster.Binary
+	// Loss is the final L2 loss (pixel count scale).
+	Loss float64
+	// History records the loss at every iteration.
+	History []float64
+}
+
+// Solver runs pixel ILT against a nominal-condition simulator.
+type Solver struct {
+	cfg    Config
+	sim    *litho.Simulator
+	target *raster.Field // 0/1 target image
+	theta  []float64
+}
+
+// NewSolver initialises the latent mask from the target image: latent
+// pixels start at InitInside where the target is drawn and InitOutside
+// elsewhere.
+func NewSolver(sim *litho.Simulator, target *raster.Field, cfg Config) *Solver {
+	s := &Solver{cfg: cfg, sim: sim, target: target}
+	s.theta = make([]float64, len(target.Data))
+	for i, v := range target.Data {
+		if v >= 0.5 {
+			s.theta[i] = cfg.InitInside
+		} else {
+			s.theta[i] = cfg.InitOutside
+		}
+	}
+	return s
+}
+
+// sigmoid is the logistic function.
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// maskFromTheta materialises the continuous mask M = σ(k·θ).
+func (s *Solver) maskFromTheta() *raster.Field {
+	m := raster.NewField(s.target.Grid)
+	for i, th := range s.theta {
+		m.Data[i] = sigmoid(s.cfg.MaskSteepness * th)
+	}
+	return m
+}
+
+// Run optimises the latent mask and returns the result.
+func (s *Solver) Run() *Result {
+	opt := optim.NewAdam(s.cfg.LR)
+	ith := s.sim.Config().Threshold
+	beta := s.cfg.ResistSteepness
+	var history []float64
+
+	grad := make([]float64, len(s.theta))
+	for it := 0; it < s.cfg.Iterations; it++ {
+		mask := s.maskFromTheta()
+		aerial, cache := s.sim.AerialWithCache(mask)
+
+		// Resist + loss, and G = ∂L/∂I.
+		loss := 0.0
+		G := make([]float64, len(aerial.Data))
+		for i, I := range aerial.Data {
+			z := sigmoid(beta * (I - ith))
+			zt := s.target.Data[i]
+			d := z - zt
+			loss += d * d
+			G[i] = 2 * d * beta * z * (1 - z)
+		}
+		history = append(history, loss)
+
+		gm := s.sim.GradientFromCache(cache, G)
+		// Chain through M = σ(k·θ), plus the area regulariser ∂(λΣM)/∂M = λ.
+		for i := range grad {
+			m := mask.Data[i]
+			grad[i] = (gm[i] + s.cfg.AreaPenalty) * s.cfg.MaskSteepness * m * (1 - m)
+		}
+		opt.Step(s.theta, grad)
+	}
+
+	final := s.maskFromTheta()
+	res := &Result{
+		Mask:       final,
+		BinaryMask: final.Threshold(0.5),
+		History:    history,
+	}
+	if len(history) > 0 {
+		res.Loss = history[len(history)-1]
+	}
+	return res
+}
+
+// Run is the convenience entry point: target polygons rasterised by the
+// caller into a 0/1 field.
+func Run(sim *litho.Simulator, target *raster.Field, cfg Config) *Result {
+	return NewSolver(sim, target, cfg).Run()
+}

@@ -1,0 +1,94 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cardopc/internal/geom"
+)
+
+// The clip text format is a minimal GDS stand-in used by the CLI tools:
+//
+//	clip <name> <size-nm>
+//	poly <x1> <y1> <x2> <y2> ...
+//	poly ...
+//
+// Blank lines and lines starting with '#' are ignored. Coordinates are
+// nanometres.
+
+// WriteClip serialises c in the clip text format.
+func WriteClip(w io.Writer, c Clip) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "clip %s %g\n", c.Name, c.SizeNM)
+	for _, p := range c.Targets {
+		bw.WriteString("poly")
+		for _, pt := range p {
+			fmt.Fprintf(bw, " %g %g", pt.X, pt.Y)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadClip parses one clip from the clip text format.
+func ReadClip(r io.Reader) (Clip, error) {
+	var c Clip
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "clip":
+			if len(fields) != 3 {
+				return c, fmt.Errorf("layout: line %d: clip header wants 2 args", line)
+			}
+			c.Name = fields[1]
+			size, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return c, fmt.Errorf("layout: line %d: bad size: %v", line, err)
+			}
+			c.SizeNM = size
+			sawHeader = true
+		case "poly":
+			if !sawHeader {
+				return c, fmt.Errorf("layout: line %d: poly before clip header", line)
+			}
+			coords := fields[1:]
+			if len(coords) < 6 || len(coords)%2 != 0 {
+				return c, fmt.Errorf("layout: line %d: poly wants >= 3 coordinate pairs", line)
+			}
+			poly := make(geom.Polygon, 0, len(coords)/2)
+			for i := 0; i < len(coords); i += 2 {
+				x, err := strconv.ParseFloat(coords[i], 64)
+				if err != nil {
+					return c, fmt.Errorf("layout: line %d: bad x: %v", line, err)
+				}
+				y, err := strconv.ParseFloat(coords[i+1], 64)
+				if err != nil {
+					return c, fmt.Errorf("layout: line %d: bad y: %v", line, err)
+				}
+				poly = append(poly, geom.P(x, y))
+			}
+			c.Targets = append(c.Targets, poly)
+		default:
+			return c, fmt.Errorf("layout: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return c, err
+	}
+	if !sawHeader {
+		return c, fmt.Errorf("layout: missing clip header")
+	}
+	return c, nil
+}

@@ -1,0 +1,153 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cardopc/internal/geom"
+)
+
+// Design is a large-scale layout: a named collection of OPC tiles standing
+// in for the OpenROAD gcd/aes/dynamicnode metal layers of Table III.
+type Design struct {
+	Name string
+	// TileCount is the Table III tile count (1 for gcd, 144 for aes and
+	// dynamicnode). Tiles content cycles through DistinctTiles generated
+	// variants, so experiments can OPC the variants once and weight by
+	// multiplicity.
+	TileCount int
+	// Tiles holds the distinct generated tile clips.
+	Tiles []Clip
+}
+
+// designSpec captures the procedural knobs per design name, loosely
+// modelling the relative density/complexity of the three benchmarks.
+type designSpec struct {
+	tileCount int
+	density   float64 // fraction of tracks occupied
+	jogProb   float64 // probability a wire has jogs
+	stubProb  float64 // probability of pin stubs hanging off wires
+	seed      int64
+}
+
+var designSpecs = map[string]designSpec{
+	// gcd is a tiny dense block (1 tile in Table III).
+	"gcd": {tileCount: 1, density: 0.85, jogProb: 0.5, stubProb: 0.4, seed: 31},
+	// aes is a large design with moderate density.
+	"aes": {tileCount: 144, density: 0.7, jogProb: 0.35, stubProb: 0.3, seed: 32},
+	// dynamicnode is sparser routing.
+	"dynamicnode": {tileCount: 144, density: 0.55, jogProb: 0.3, stubProb: 0.25, seed: 33},
+}
+
+// DesignNames lists the Table III designs in paper order.
+func DesignNames() []string { return []string{"gcd", "aes", "dynamicnode"} }
+
+// DistinctTiles is how many distinct tile variants each large design
+// generates; experiments OPC the variants and scale by tile multiplicity
+// (documented in EXPERIMENTS.md).
+const DistinctTiles = 4
+
+// TileSizeNM is the side length of one generated tile. The paper's tiles
+// are 30×30 µm²; ours are 2 µm windows (the largest extent the 512-px litho
+// raster images at 4 nm/px), so per-tile metric magnitudes differ from the
+// paper by a fixed area ratio while method-vs-method comparisons hold.
+const TileSizeNM = 2000
+
+// LargeDesign generates the named design ("gcd", "aes" or "dynamicnode").
+// It panics on unknown names.
+func LargeDesign(name string) Design {
+	spec, ok := designSpecs[name]
+	if !ok {
+		panic(fmt.Sprintf("layout: unknown design %q", name))
+	}
+	d := Design{Name: name, TileCount: spec.tileCount}
+	n := DistinctTiles
+	if spec.tileCount < n {
+		n = spec.tileCount
+	}
+	for t := 0; t < n; t++ {
+		d.Tiles = append(d.Tiles, largeTile(name, t, spec))
+	}
+	return d
+}
+
+// tPoly builds a T-shaped wire+stub polygon (counter-clockwise): a
+// horizontal wire from x0 to x1 of height w at base y, with a vertical stub
+// of width sw and height sh rising from x = sx.
+func tPoly(x0, x1, y, w, sx, sw, sh float64) geom.Polygon {
+	return geom.Polygon{
+		geom.P(snap(x0), snap(y)),
+		geom.P(snap(x1), snap(y)),
+		geom.P(snap(x1), snap(y+w)),
+		geom.P(snap(sx+sw), snap(y+w)),
+		geom.P(snap(sx+sw), snap(y+w+sh)),
+		geom.P(snap(sx), snap(y+w+sh)),
+		geom.P(snap(sx), snap(y+w)),
+		geom.P(snap(x0), snap(y+w)),
+	}
+}
+
+// largeTile builds one standard-cell-style metal tile: horizontal routing
+// tracks at a fixed pitch, randomly occupied, with jogs and vertical pin
+// stubs merged into their wires.
+func largeTile(design string, index int, spec designSpec) Clip {
+	r := rand.New(rand.NewSource(spec.seed*1000 + int64(index)))
+	clip := Clip{Name: fmt.Sprintf("%s/t%03d", design, index), SizeNM: TileSizeNM}
+
+	const width = 70.0
+	const pitch = 180.0
+	const margin = 300.0
+
+	// Decide track occupancy first so pin stubs are only placed where the
+	// track above is free (a stub tip reaching into an occupied track
+	// would bridge structurally).
+	var ys []float64
+	for y := margin; y+width < TileSizeNM-margin; y += pitch {
+		ys = append(ys, y)
+	}
+	occupied := make([]bool, len(ys))
+	for ti := range ys {
+		occupied[ti] = r.Float64() <= spec.density
+	}
+
+	for ti, y := range ys {
+		if !occupied[ti] {
+			continue
+		}
+		stubOK := ti+1 >= len(ys) || !occupied[ti+1]
+		// Each track carries one or two wire segments.
+		segments := 1
+		if r.Float64() < 0.35 {
+			segments = 2
+		}
+		usable := TileSizeNM - 2*margin
+		segSpan := usable / float64(segments)
+		for s := 0; s < segments; s++ {
+			// Tight tip-to-tip gaps (~110-150 nm) between same-track
+			// segments are the classic line-end hotspot.
+			x0 := margin + segSpan*float64(s) + r.Float64()*20
+			x1 := margin + segSpan*float64(s+1) - 110 - r.Float64()*40
+			if s == segments-1 {
+				x1 = margin + segSpan*float64(s+1) - r.Float64()*20
+			}
+			if x1-x0 < 180 {
+				continue
+			}
+			// Straight wires may carry a pin stub, merged into a single
+			// T-shaped polygon (overlapping polygons would bury target
+			// edges inside the printed union, making their EPE probes
+			// meaningless for every OPC flow).
+			if stubOK && r.Float64() < spec.stubProb {
+				sx := snap(x0 + 100 + r.Float64()*(x1-x0-260))
+				clip.Targets = append(clip.Targets, tPoly(x0, x1, y, width, sx, width, 100))
+				continue
+			}
+			pts := 4
+			if r.Float64() < spec.jogProb {
+				pts = 8
+			}
+			clip.Targets = append(clip.Targets, wirePoly(r, x0, x1, y, width, pts))
+		}
+	}
+	return clip
+}

@@ -1,0 +1,139 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"cardopc/internal/geom"
+	"cardopc/internal/raster"
+)
+
+// physicsConfig is a minimal fast imager for the physics checks.
+func physicsConfig() Config {
+	cfg := DefaultConfig()
+	cfg.GridSize = 256
+	cfg.PitchNM = 8
+	return cfg
+}
+
+func TestKernelCountMatchesSourceSampling(t *testing.T) {
+	cfg := physicsConfig()
+	cfg.SourceRings = 1
+	one := NewSimulator(cfg)
+	cfg.SourceRings = 3
+	three := NewSimulator(cfg)
+	if three.NumKernels() <= one.NumKernels() {
+		t.Errorf("more rings should mean more kernels: %d vs %d",
+			three.NumKernels(), one.NumKernels())
+	}
+}
+
+func TestLineEndPullback(t *testing.T) {
+	// Classic proximity effect: the printed line is shorter than drawn at
+	// its ends.
+	s := NewSimulator(physicsConfig())
+	line := geom.Rect{Min: geom.P(700, 989), Max: geom.P(1350, 1059)}
+	mask := maskWithRect(s.Grid(), line)
+	aer := s.Aerial(mask)
+	ith := s.Config().Threshold
+	// Intensity at the drawn line end vs at the line middle edge.
+	endI := aer.Bilinear(geom.P(1350, 1024))
+	midI := aer.Bilinear(geom.P(1024, 1059))
+	if endI >= midI {
+		t.Errorf("no line-end pullback: end %v >= mid-edge %v", endI, midI)
+	}
+	// The end must have pulled back: intensity at the drawn end below
+	// threshold even though the line interior prints.
+	if aer.Bilinear(geom.P(1024, 1024)) < ith {
+		t.Fatal("line interior does not print")
+	}
+	if endI >= ith {
+		t.Errorf("line end did not pull back (I=%v >= %v)", endI, ith)
+	}
+}
+
+func TestIsoDenseBias(t *testing.T) {
+	// Dense lines print differently than an isolated line of the same
+	// width — the iso-dense bias every OPC flow must correct.
+	s := NewSimulator(physicsConfig())
+	iso := raster.NewField(s.Grid())
+	iso.FillPolygon(geom.Rect{Min: geom.P(700, 989), Max: geom.P(1350, 1059)}.Poly(), 4)
+	iso.Clamp01()
+
+	dense := raster.NewField(s.Grid())
+	for k := -2; k <= 2; k++ {
+		y0 := 989 + float64(k)*140
+		dense.FillPolygon(geom.Rect{Min: geom.P(700, y0), Max: geom.P(1350, y0+70)}.Poly(), 4)
+	}
+	dense.Clamp01()
+
+	isoI := s.Aerial(iso).Bilinear(geom.P(1024, 1024))
+	denseI := s.Aerial(dense).Bilinear(geom.P(1024, 1024))
+	if math.Abs(isoI-denseI) < 0.01 {
+		t.Errorf("no iso-dense bias: iso %v vs dense %v", isoI, denseI)
+	}
+}
+
+func TestSRAFImprovesProcessWindow(t *testing.T) {
+	// Assist features around an isolated via should reduce its sensitivity
+	// to defocus (larger process window) without printing themselves.
+	cfg := physicsConfig()
+	nom := NewSimulator(cfg)
+	cfg.DefocusNM = 60
+	def := NewSimulator(cfg)
+
+	via := geom.Rect{Min: geom.P(984, 984), Max: geom.P(1064, 1064)}
+	bare := maskWithRect(nom.Grid(), via)
+
+	assisted := maskWithRect(nom.Grid(), via)
+	for _, d := range []geom.Pt{{X: 0, Y: 150}, {X: 0, Y: -150}, {X: 150, Y: 0}, {X: -150, Y: 0}} {
+		var bar geom.Rect
+		if d.X == 0 {
+			bar = geom.Rect{Min: geom.P(994, 1024+d.Y-15), Max: geom.P(1054, 1024+d.Y+15)}
+		} else {
+			bar = geom.Rect{Min: geom.P(1024+d.X-15, 994), Max: geom.P(1024+d.X+15, 1054)}
+		}
+		assisted.FillPolygon(bar.Poly(), 4)
+	}
+	assisted.Clamp01()
+
+	centre := geom.P(1024, 1024)
+	lossBare := nom.Aerial(bare).Bilinear(centre) - def.Aerial(bare).Bilinear(centre)
+	lossAssisted := nom.Aerial(assisted).Bilinear(centre) - def.Aerial(assisted).Bilinear(centre)
+	if lossAssisted >= lossBare {
+		t.Errorf("SRAFs did not stabilise focus: bare loss %v, assisted loss %v",
+			lossBare, lossAssisted)
+	}
+	// The assists themselves stay sub-resolution at nominal focus.
+	aer := nom.Aerial(assisted)
+	if v := aer.Bilinear(geom.P(1024, 1174)); v >= cfg.Threshold {
+		t.Errorf("assist feature prints: I=%v", v)
+	}
+}
+
+func TestDeterministicAerial(t *testing.T) {
+	// The parallel reduction must be bit-identical across runs.
+	s := NewSimulator(physicsConfig())
+	mask := maskWithRect(s.Grid(), geom.Rect{Min: geom.P(900, 900), Max: geom.P(1150, 1150)})
+	a := s.Aerial(mask)
+	b := s.Aerial(mask)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("aerial differs at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestThresholdContoursFollowDose(t *testing.T) {
+	// Raising dose grows every printed contour.
+	cfg := physicsConfig()
+	lo := NewSimulator(cfg)
+	cfg.Dose = 1.1
+	hi := NewSimulator(cfg)
+	mask := maskWithRect(lo.Grid(), geom.Rect{Min: geom.P(874, 874), Max: geom.P(1174, 1174)})
+	aLo := lo.Printed(mask).Count()
+	aHi := hi.Printed(mask).Count()
+	if aHi <= aLo {
+		t.Errorf("dose-up did not grow print: %d vs %d", aHi, aLo)
+	}
+}

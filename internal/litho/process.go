@@ -1,0 +1,69 @@
+package litho
+
+import (
+	"cardopc/internal/fft"
+	"cardopc/internal/raster"
+)
+
+// Process bundles the nominal imaging condition with the extreme corners of
+// the process window, used to evaluate the process variation band (PVB).
+// Following the ICCAD-13 convention, the outer corner over-exposes
+// (max dose, best focus) and the inner corner under-exposes with defocus
+// (min dose, worst focus).
+type Process struct {
+	Nominal *Simulator
+	Inner   *Simulator
+	Outer   *Simulator
+}
+
+// CornerSpec describes how far the process corners deviate from nominal.
+type CornerSpec struct {
+	// DoseDelta is the fractional dose excursion (0.02 = ±2 %).
+	DoseDelta float64
+	// DefocusNM is the defocus applied at the inner (under-exposed) corner.
+	DefocusNM float64
+}
+
+// DefaultCorners returns the ±2 % dose, 40 nm defocus process window used by
+// the experiments.
+func DefaultCorners() CornerSpec {
+	return CornerSpec{DoseDelta: 0.02, DefocusNM: 40}
+}
+
+// NewProcess builds the nominal simulator plus inner/outer corners for cfg.
+func NewProcess(cfg Config, spec CornerSpec) *Process {
+	nom := NewSimulator(cfg)
+
+	innerCfg := cfg
+	innerCfg.Dose = cfg.Dose * (1 - spec.DoseDelta)
+	innerCfg.DefocusNM = spec.DefocusNM
+	outerCfg := cfg
+	outerCfg.Dose = cfg.Dose * (1 + spec.DoseDelta)
+
+	return &Process{
+		Nominal: nom,
+		Inner:   NewSimulator(innerCfg),
+		Outer:   NewSimulator(outerCfg),
+	}
+}
+
+// PrintedAll images mask once per corner (sharing the mask spectrum) and
+// returns the nominal, inner and outer binarised prints.
+func (p *Process) PrintedAll(mask *raster.Field) (nom, inner, outer *raster.Binary) {
+	mf := MaskFreq(mask)
+	nom = p.Nominal.AerialFromFreq(mf).Threshold(p.Nominal.cfg.Threshold)
+	inner = p.Inner.AerialFromFreq(mf).Threshold(p.Inner.cfg.Threshold)
+	outer = p.Outer.AerialFromFreq(mf).Threshold(p.Outer.cfg.Threshold)
+	return nom, inner, outer
+}
+
+// AerialAll returns the three corner aerial images, sharing one mask FFT.
+func (p *Process) AerialAll(mask *raster.Field) (nom, inner, outer *raster.Field) {
+	mf := MaskFreq(mask)
+	return p.Nominal.AerialFromFreq(mf), p.Inner.AerialFromFreq(mf), p.Outer.AerialFromFreq(mf)
+}
+
+// AerialAllFromFreq is AerialAll over a precomputed mask spectrum.
+func (p *Process) AerialAllFromFreq(mf *fft.Grid2) (nom, inner, outer *raster.Field) {
+	return p.Nominal.AerialFromFreq(mf), p.Inner.AerialFromFreq(mf), p.Outer.AerialFromFreq(mf)
+}

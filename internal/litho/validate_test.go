@@ -1,0 +1,46 @@
+package litho
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	small := testConfig()
+	if err := small.Validate(); err != nil {
+		t.Errorf("test config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		mutate func(*Config)
+		want   string
+	}{
+		{func(c *Config) { c.GridSize = 300 }, "power of two"},
+		{func(c *Config) { c.PitchNM = 0 }, "PitchNM"},
+		{func(c *Config) { c.WavelengthNM = -1 }, "WavelengthNM"},
+		{func(c *Config) { c.NA = 0 }, "NA"},
+		{func(c *Config) { c.SigmaIn, c.SigmaOut = 0.8, 0.6 }, "annulus"},
+		{func(c *Config) { c.SigmaOut = 1.5 }, "annulus"},
+		{func(c *Config) { c.Threshold = 0 }, "Threshold"},
+		{func(c *Config) { c.Threshold = 1.5 }, "Threshold"},
+		{func(c *Config) { c.Dose = -0.1 }, "dose"},
+		{func(c *Config) { c.GridSize, c.PitchNM = 16, 1 }, "pupil"},
+	}
+	for i, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("case %d: expected error", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("case %d: error %q does not mention %q", i, err, tc.want)
+		}
+	}
+}

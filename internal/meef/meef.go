@@ -1,0 +1,117 @@
+// Package meef measures the mask error enhancement factor (MEEF) — the
+// sensitivity ∂(printed edge) / ∂(mask edge) — by perturbation analysis
+// through the lithography simulator, following the MEEF-matrix OPC line the
+// paper cites (Cobb & Granik [37]; Lei et al. [38]). The measured diagonal
+// calibrates the correction gain of Eq. (6): a solver stepping -e/MEEF
+// converges in fewer iterations than one with a fixed gain.
+package meef
+
+import (
+	"cardopc/internal/core"
+	"cardopc/internal/litho"
+	"cardopc/internal/metrics"
+	"cardopc/internal/raster"
+)
+
+// Result is one MEEF measurement over a mask's control points.
+type Result struct {
+	// Diag is the per-control-point diagonal MEEF (printed-edge shift per
+	// nm of control-point shift along its normal).
+	Diag [][]float64
+	// Mean is the average diagonal MEEF over all measured points.
+	Mean float64
+}
+
+// Config tunes the measurement.
+type Config struct {
+	// DeltaNM is the perturbation applied to each control point.
+	DeltaNM float64
+	// SamplesPerSeg matches the mask rasterisation density.
+	SamplesPerSeg int
+	// Stride measures every Stride-th control point (the rest interpolate
+	// from the mean) to bound the simulation count.
+	Stride int
+}
+
+// DefaultConfig returns a 2 nm perturbation with stride-4 sampling.
+func DefaultConfig() Config {
+	return Config{DeltaNM: 2, SamplesPerSeg: 8, Stride: 4}
+}
+
+// Measure computes the diagonal MEEF of every (strided) control point of
+// the mask: perturb the point outward by DeltaNM, re-image, and divide the
+// probe's EPE change by DeltaNM. One simulation per measured point — use
+// the stride to keep this affordable.
+func Measure(sim *litho.Simulator, mask *core.Mask, cfg Config) *Result {
+	if cfg.Stride < 1 {
+		cfg.Stride = 1
+	}
+	g := sim.Grid()
+	field := raster.NewField(g)
+	mask.RasterizeInto(field, cfg.SamplesPerSeg, 4)
+	base := sim.Aerial(field)
+	ith := sim.Config().Threshold
+	mcfg := metrics.EPEConfig{SearchNM: 60, ThresholdNM: 60, Ith: ith}
+
+	res := &Result{Diag: make([][]float64, len(mask.Shapes))}
+	var sum float64
+	var n int
+	for si, s := range mask.Shapes {
+		res.Diag[si] = make([]float64, len(s.Ctrl))
+		if s.SRAF || s.Hole {
+			continue
+		}
+		for ci := range s.Ctrl {
+			if ci%cfg.Stride != 0 {
+				res.Diag[si][ci] = -1 // marked: fill from mean later
+				continue
+			}
+			probe := metrics.Probe{Pos: s.Loop().At(ci, 0), Normal: s.OutwardNormal(ci)}
+			before := metrics.MeasureEPE(base, []metrics.Probe{probe}, mcfg).PerProbe[0]
+
+			// Perturb outward, re-image, re-probe.
+			old := s.Ctrl[ci]
+			s.Ctrl[ci] = old.Add(s.OutwardNormal(ci).Mul(cfg.DeltaNM))
+			mask.RasterizeInto(field, cfg.SamplesPerSeg, 4)
+			after := metrics.MeasureEPE(sim.Aerial(field), []metrics.Probe{probe}, mcfg).PerProbe[0]
+			s.Ctrl[ci] = old
+
+			m := (after - before) / cfg.DeltaNM
+			res.Diag[si][ci] = m
+			sum += m
+			n++
+		}
+	}
+	if n > 0 {
+		res.Mean = sum / float64(n)
+	}
+	// Fill unmeasured points with the mean.
+	for si := range res.Diag {
+		for ci, v := range res.Diag[si] {
+			if v == -1 {
+				res.Diag[si][ci] = res.Mean
+			}
+		}
+	}
+	// Restore the unperturbed raster for callers sharing the field.
+	mask.RasterizeInto(field, cfg.SamplesPerSeg, 4)
+	return res
+}
+
+// CalibrateGain returns the Eq. (6) gain implied by the measured MEEF: the
+// ideal diagonal inverse Jacobian is 1/MEEF, clamped into [lo, hi] to guard
+// against near-zero or negative local measurements.
+func (r *Result) CalibrateGain(lo, hi float64) float64 {
+	m := r.Mean
+	if m <= 0 {
+		return lo
+	}
+	gain := 1 / m
+	if gain < lo {
+		return lo
+	}
+	if gain > hi {
+		return hi
+	}
+	return gain
+}

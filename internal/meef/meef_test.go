@@ -1,0 +1,64 @@
+package meef
+
+import (
+	"testing"
+
+	"cardopc/internal/core"
+	"cardopc/internal/geom"
+	"cardopc/internal/litho"
+)
+
+func testSim() *litho.Simulator {
+	cfg := litho.DefaultConfig()
+	cfg.GridSize = 128
+	cfg.PitchNM = 16
+	return litho.NewSimulator(cfg)
+}
+
+func TestMeasureMEEFOnLine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy test")
+	}
+	sim := testSim()
+	cfg := core.MetalConfig()
+	cfg.SRAF.Enable = false
+	target := geom.Rect{Min: geom.P(600, 960), Max: geom.P(1450, 1090)}.Poly()
+	mask := core.NewMask([]geom.Polygon{target}, cfg)
+
+	mcfg := DefaultConfig()
+	mcfg.Stride = 6
+	res := Measure(sim, mask, mcfg)
+
+	if len(res.Diag) != 1 {
+		t.Fatalf("shapes = %d", len(res.Diag))
+	}
+	// Physical sanity: a positive MEEF in a plausible band. (Large
+	// features at relaxed pitch have MEEF near or below 1; tight features
+	// exceed 1.)
+	if res.Mean <= 0.05 || res.Mean > 6 {
+		t.Errorf("mean MEEF = %v, expected within (0.05, 6]", res.Mean)
+	}
+	// All filled entries share the physical band.
+	for _, row := range res.Diag {
+		for _, v := range row {
+			if v < -2 || v > 10 {
+				t.Errorf("diagonal MEEF out of band: %v", v)
+			}
+		}
+	}
+}
+
+func TestCalibrateGain(t *testing.T) {
+	r := &Result{Mean: 2}
+	if g := r.CalibrateGain(0.2, 3); g != 0.5 {
+		t.Errorf("gain = %v, want 0.5", g)
+	}
+	r.Mean = 0.1
+	if g := r.CalibrateGain(0.2, 3); g != 3 {
+		t.Errorf("gain = %v, want clamped 3", g)
+	}
+	r.Mean = -1
+	if g := r.CalibrateGain(0.2, 3); g != 0.2 {
+		t.Errorf("gain = %v, want floor 0.2", g)
+	}
+}

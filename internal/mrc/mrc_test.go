@@ -1,0 +1,202 @@
+package mrc
+
+import (
+	"math"
+	"testing"
+
+	"cardopc/internal/core"
+	"cardopc/internal/geom"
+	"cardopc/internal/spline"
+)
+
+// loopShape builds a mask shape from uniform control points on a rectangle.
+func loopShape(r geom.Rect, lu float64) *core.Shape {
+	ctrl := core.UniformControlPoints(r.Poly(), lu)
+	return core.NewShape(ctrl, spline.Cardinal, spline.DefaultTension, false)
+}
+
+// circleShape builds a shape from control points on a circle.
+func circleShape(c geom.Pt, radius float64, n int) *core.Shape {
+	ctrl := make([]geom.Pt, n)
+	for i := range ctrl {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		ctrl[i] = geom.P(c.X+radius*math.Cos(a), c.Y+radius*math.Sin(a))
+	}
+	return core.NewShape(ctrl, spline.Cardinal, spline.DefaultTension, false)
+}
+
+func maskOf(shapes ...*core.Shape) *core.Mask {
+	return &core.Mask{Shapes: shapes}
+}
+
+func TestCleanMaskHasNoViolations(t *testing.T) {
+	// Two generous, well-separated squares.
+	m := maskOf(
+		loopShape(geom.Rect{Min: geom.P(100, 100), Max: geom.P(220, 220)}, 30),
+		loopShape(geom.Rect{Min: geom.P(400, 400), Max: geom.P(520, 520)}, 30),
+	)
+	c := NewChecker(m, DefaultRules())
+	if vs := c.Check(); len(vs) != 0 {
+		t.Errorf("clean mask reported %d violations: %v", len(vs), vs)
+	}
+}
+
+func TestSpacingViolationDetected(t *testing.T) {
+	// Two squares 20 nm apart (< 40 nm rule).
+	m := maskOf(
+		loopShape(geom.Rect{Min: geom.P(100, 100), Max: geom.P(200, 200)}, 30),
+		loopShape(geom.Rect{Min: geom.P(220, 100), Max: geom.P(320, 200)}, 30),
+	)
+	c := NewChecker(m, DefaultRules())
+	vs := c.Check()
+	counts := Count(vs)
+	if counts[Spacing] == 0 {
+		t.Fatalf("expected spacing violations, got %v", counts)
+	}
+	// The violation names both shapes.
+	found := false
+	for _, v := range vs {
+		if v.Kind == Spacing && v.Other >= 0 && v.Other != v.Shape {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("spacing violation missing the other shape index")
+	}
+}
+
+func TestWidthViolationDetected(t *testing.T) {
+	// A 25 nm-wide sliver (< 40 nm rule).
+	m := maskOf(loopShape(geom.Rect{Min: geom.P(100, 100), Max: geom.P(400, 125)}, 30))
+	c := NewChecker(m, DefaultRules())
+	counts := Count(c.Check())
+	if counts[Width] == 0 {
+		t.Fatalf("expected width violations, got %v", counts)
+	}
+}
+
+func TestAreaViolationDetected(t *testing.T) {
+	// A 30×30 square: area 900 < 1600 nm².
+	m := maskOf(circleShape(geom.P(200, 200), 15, 8))
+	c := NewChecker(m, DefaultRules())
+	counts := Count(c.Check())
+	if counts[Area] == 0 {
+		t.Fatalf("expected area violation, got %v", counts)
+	}
+}
+
+func TestCurvatureViolationDetected(t *testing.T) {
+	// A circle of radius 4 nm has κ = 0.25 > 0.2.
+	m := maskOf(circleShape(geom.P(300, 300), 4, 12))
+	c := NewChecker(m, DefaultRules())
+	counts := Count(c.Check())
+	if counts[Curvature] == 0 {
+		t.Fatalf("expected curvature violations, got %v", counts)
+	}
+	// A big smooth circle is clean of curvature violations.
+	big := maskOf(circleShape(geom.P(300, 300), 100, 24))
+	c2 := NewChecker(big, DefaultRules())
+	if n := Count(c2.Check())[Curvature]; n != 0 {
+		t.Errorf("large circle reported %d curvature violations", n)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{Spacing: "spacing", Width: "width", Area: "area", Curvature: "curvature", Kind(99): "unknown"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestResolveSpacing(t *testing.T) {
+	// 30 nm apart; resolvable by pulling facing points inward.
+	m := maskOf(
+		loopShape(geom.Rect{Min: geom.P(100, 100), Max: geom.P(220, 220)}, 30),
+		loopShape(geom.Rect{Min: geom.P(250, 100), Max: geom.P(370, 220)}, 30),
+	)
+	c := NewChecker(m, DefaultRules())
+	res := c.Resolve(DefaultResolveOptions())
+	if res.Before == 0 {
+		t.Fatal("expected initial spacing violations")
+	}
+	if res.After != 0 {
+		t.Errorf("resolve left %d violations (before %d)", res.After, res.Before)
+	}
+}
+
+func TestResolveWidth(t *testing.T) {
+	// 32 nm wide wire: fixable by pushing edges outward ~4-8 nm.
+	m := maskOf(loopShape(geom.Rect{Min: geom.P(100, 100), Max: geom.P(400, 132)}, 30))
+	c := NewChecker(m, DefaultRules())
+	res := c.Resolve(DefaultResolveOptions())
+	if res.Before == 0 {
+		t.Fatal("expected initial width violations")
+	}
+	if res.After >= res.Before {
+		t.Errorf("resolve did not reduce width violations: %d -> %d", res.Before, res.After)
+	}
+}
+
+func TestResolveCurvature(t *testing.T) {
+	// A shape with one sharp spike control point.
+	ctrl := core.UniformControlPoints(geom.Rect{Min: geom.P(100, 100), Max: geom.P(300, 300)}.Poly(), 40)
+	// Push one point outward to create a high-curvature kink.
+	ctrl[2] = ctrl[2].Add(geom.P(0, -16))
+	s := core.NewShape(ctrl, spline.Cardinal, spline.DefaultTension, false)
+	m := maskOf(s)
+	c := NewChecker(m, DefaultRules())
+	before := Count(c.Check())[Curvature]
+	if before == 0 {
+		t.Skip("kink did not create a curvature violation at these rules")
+	}
+	res := c.Resolve(DefaultResolveOptions())
+	if res.After >= res.Before {
+		t.Errorf("resolve did not reduce: %d -> %d", res.Before, res.After)
+	}
+}
+
+func TestResolveRemovesAreaViolators(t *testing.T) {
+	m := maskOf(
+		loopShape(geom.Rect{Min: geom.P(100, 100), Max: geom.P(220, 220)}, 30),
+		circleShape(geom.P(500, 500), 12, 8), // tiny: area violator
+	)
+	c := NewChecker(m, DefaultRules())
+	opt := DefaultResolveOptions()
+	opt.RemoveAreaViolators = true
+	res := c.Resolve(opt)
+	if res.Removed != 1 {
+		t.Errorf("removed = %d, want 1", res.Removed)
+	}
+	if len(m.Shapes) != 1 {
+		t.Errorf("mask has %d shapes after removal", len(m.Shapes))
+	}
+	if res.After != 0 {
+		t.Errorf("after = %d", res.After)
+	}
+}
+
+func TestRefreshTracksMovedShapes(t *testing.T) {
+	a := loopShape(geom.Rect{Min: geom.P(100, 100), Max: geom.P(220, 220)}, 30)
+	b := loopShape(geom.Rect{Min: geom.P(400, 100), Max: geom.P(520, 220)}, 30)
+	m := maskOf(a, b)
+	c := NewChecker(m, DefaultRules())
+	if len(c.Check()) != 0 {
+		t.Fatal("expected clean start")
+	}
+	// Drag shape b against a.
+	for i := range b.Ctrl {
+		b.Ctrl[i].X -= 160
+	}
+	c.Refresh()
+	if Count(c.Check())[Spacing] == 0 {
+		t.Error("Refresh missed moved shape")
+	}
+}
+
+func TestCountEmpty(t *testing.T) {
+	if n := len(Count(nil)); n != 0 {
+		t.Errorf("Count(nil) = %d entries", n)
+	}
+}

@@ -1,0 +1,306 @@
+package mrc
+
+import (
+	"sort"
+
+	"cardopc/internal/geom"
+)
+
+// ResolveResult summarises one resolving run.
+type ResolveResult struct {
+	// Before and After are violation counts.
+	Before, After int
+	// Removed counts shapes deleted under the area rule (ILT-fit cleanup).
+	Removed int
+	// Passes is the number of check-resolve sweeps executed.
+	Passes int
+}
+
+// ResolveOptions tunes the violation resolver.
+type ResolveOptions struct {
+	// MaxPasses bounds the check→fix sweeps.
+	MaxPasses int
+	// Trials are the move distances (nm) attempted smallest-first
+	// (paper: "the moving distance is chosen from small to large").
+	Trials []float64
+	// RemoveAreaViolators deletes shapes violating the area rule instead
+	// of cancelling moves — the paper's policy for fitted ILT shapes,
+	// which are "usually small and nonprintable patterns".
+	RemoveAreaViolators bool
+}
+
+// DefaultResolveOptions returns the resolver settings used by the
+// experiments.
+func DefaultResolveOptions() ResolveOptions {
+	return ResolveOptions{
+		MaxPasses: 6,
+		Trials:    []float64{2, 4, 8, 12},
+	}
+}
+
+// Resolve repeatedly checks the mask and applies the paper's per-rule
+// strategies (Fig. 5b–d) until the mask is clean or MaxPasses is exhausted:
+//
+//   - spacing: move the two facing control points inward (opposite their
+//     normals), distances tried small to large;
+//   - width: move the control point outward;
+//   - curvature: try the control point both in and out;
+//   - area: cancel the offending moves, or delete the shape when
+//     RemoveAreaViolators is set.
+func (c *Checker) Resolve(opt ResolveOptions) ResolveResult {
+	if opt.MaxPasses <= 0 {
+		opt.MaxPasses = 6
+	}
+	if len(opt.Trials) == 0 {
+		opt.Trials = []float64{2, 4, 8, 12}
+	}
+	res := ResolveResult{}
+	vs := c.Check()
+	res.Before = len(vs)
+	for pass := 0; pass < opt.MaxPasses && len(vs) > 0; pass++ {
+		res.Passes++
+		// Geometric fixes first; deletions afterwards so violation shape
+		// indices stay valid throughout the pass.
+		var areaShapes []int
+		for _, v := range vs {
+			switch v.Kind {
+			case Spacing:
+				c.resolveSpacing(v, opt)
+			case Width:
+				c.resolveWidth(v, opt)
+			case Curvature:
+				c.resolveCurvature(v, opt)
+			case Area:
+				if opt.RemoveAreaViolators {
+					areaShapes = append(areaShapes, v.Shape)
+				}
+			}
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(areaShapes)))
+		last := -1
+		for _, si := range areaShapes {
+			if si == last {
+				continue // duplicate report for the same shape
+			}
+			last = si
+			c.removeShape(si)
+			res.Removed++
+		}
+		c.Refresh()
+		vs = c.Check()
+	}
+	res.After = len(vs)
+	return res
+}
+
+// moveCtrl displaces one control point and refreshes that shape's outline;
+// returns an undo closure.
+func (c *Checker) moveCtrl(shape, ctrl int, delta geom.Pt) func() {
+	s := c.mask.Shapes[shape]
+	old := s.Ctrl[ctrl]
+	s.Ctrl[ctrl] = old.Add(delta)
+	c.refreshShape(shape)
+	return func() {
+		s.Ctrl[ctrl] = old
+		c.refreshShape(shape)
+	}
+}
+
+// shapeClean reports whether the given control point of the shape passes the
+// spacing+width probes and the shape passes the area rule.
+func (c *Checker) pointClean(shape, ctrl int) bool {
+	s := c.mask.Shapes[shape]
+	if ctrl >= len(s.Ctrl) {
+		return true
+	}
+	loop := s.Loop()
+	pos := loop.At(ctrl, 0)
+	n := s.OutwardNormal(ctrl)
+	if c.probeOtherShape(shape, pos, n, c.rules.SpaceNM) >= 0 {
+		return false
+	}
+	if c.probeOwnBoundary(shape, ctrl, pos, n.Mul(-1), c.rules.WidthNM) {
+		return false
+	}
+	return true
+}
+
+// areaOK re-checks the area rule for one shape.
+func (c *Checker) areaOK(shape int) bool {
+	return c.items[shape].poly.Area() >= c.rules.AreaNM2
+}
+
+// resolveSpacing moves the facing control points of both shapes inward
+// (Fig. 5b) with increasing trial distances.
+func (c *Checker) resolveSpacing(v Violation, opt ResolveOptions) {
+	a := c.mask.Shapes[v.Shape]
+	if v.Ctrl >= len(a.Ctrl) {
+		return
+	}
+	inA := a.OutwardNormal(v.Ctrl).Mul(-1)
+	// The facing control point of the other shape: nearest control point.
+	bIdx := v.Other
+	bCtrl := -1
+	if bIdx >= 0 {
+		b := c.mask.Shapes[bIdx]
+		best := 1e18
+		for i, p := range b.Ctrl {
+			if d := p.Dist(v.Pos); d < best {
+				best, bCtrl = d, i
+			}
+		}
+	}
+	for _, d := range opt.Trials {
+		undoA := c.moveCtrl(v.Shape, v.Ctrl, inA.Mul(d))
+		var undoB func()
+		if bCtrl >= 0 {
+			b := c.mask.Shapes[bIdx]
+			inB := b.OutwardNormal(bCtrl).Mul(-1)
+			undoB = c.moveCtrl(bIdx, bCtrl, inB.Mul(d))
+		}
+		ok := c.pointClean(v.Shape, v.Ctrl) && c.areaOK(v.Shape)
+		if ok && bIdx >= 0 {
+			ok = c.areaOK(bIdx)
+		}
+		if ok {
+			return
+		}
+		if undoB != nil {
+			undoB()
+		}
+		undoA()
+	}
+}
+
+// resolveWidth moves the control point outward (paper §III-F).
+func (c *Checker) resolveWidth(v Violation, opt ResolveOptions) {
+	s := c.mask.Shapes[v.Shape]
+	if v.Ctrl >= len(s.Ctrl) {
+		return
+	}
+	out := s.OutwardNormal(v.Ctrl)
+	for _, d := range opt.Trials {
+		undo := c.moveCtrl(v.Shape, v.Ctrl, out.Mul(d))
+		if c.pointClean(v.Shape, v.Ctrl) && c.areaOK(v.Shape) {
+			return
+		}
+		undo()
+	}
+}
+
+// resolveCurvature tries moving the control point in and out (Fig. 5c-d),
+// and additionally blending it toward its neighbours' midpoint (which is
+// the in/out direction at a cusp, where the normal degenerates). If no
+// trial fully cleans the neighbourhood, the trial with the lowest residual
+// curvature is kept so repeated passes keep making progress.
+func (c *Checker) resolveCurvature(v Violation, opt ResolveOptions) {
+	s := c.mask.Shapes[v.Shape]
+	if v.Ctrl >= len(s.Ctrl) {
+		return
+	}
+	n := s.OutwardNormal(v.Ctrl)
+	nn := len(s.Ctrl)
+	mid := s.Ctrl[((v.Ctrl-1)%nn+nn)%nn].Lerp(s.Ctrl[(v.Ctrl+1)%nn], 0.5)
+
+	var deltas []geom.Pt
+	for _, d := range opt.Trials {
+		deltas = append(deltas, n.Mul(-d), n.Mul(d))
+	}
+	for _, blend := range []float64{0.25, 0.5, 0.75} {
+		deltas = append(deltas, mid.Sub(s.Ctrl[v.Ctrl]).Mul(blend))
+	}
+
+	baseline := c.maxCurvAround(v.Shape, v.Ctrl)
+	bestImprove := baseline
+	var bestDelta geom.Pt
+	found := false
+	for _, delta := range deltas {
+		undo := c.moveCtrl(v.Shape, v.Ctrl, delta)
+		if !c.areaOK(v.Shape) {
+			undo()
+			continue
+		}
+		kv := c.maxCurvAround(v.Shape, v.Ctrl)
+		if kv <= c.rules.CurvPerNM {
+			return // fully resolved
+		}
+		if kv < bestImprove {
+			bestImprove = kv
+			bestDelta = delta
+			found = true
+		}
+		undo()
+	}
+	// No clean single-point fix: try Laplacian-smoothing the 3-point
+	// window around the violation (cusps are often pinched by a pair of
+	// neighbouring points that no single move can relax).
+	if c.smoothWindowTrial(v.Shape, v.Ctrl, baseline) {
+		return
+	}
+	// Otherwise keep the best partial improvement (>5%) so the next pass
+	// starts closer.
+	if found && bestImprove < 0.95*baseline {
+		c.moveCtrl(v.Shape, v.Ctrl, bestDelta)
+	}
+}
+
+// smoothWindowTrial blends the violation point and both neighbours toward
+// their respective neighbour midpoints; returns true when accepted (clean
+// or clearly improved).
+func (c *Checker) smoothWindowTrial(shape, ci int, baseline float64) bool {
+	s := c.mask.Shapes[shape]
+	nn := len(s.Ctrl)
+	idx := []int{((ci-1)%nn + nn) % nn, ci, (ci + 1) % nn}
+	for _, blend := range []float64{0.35, 0.7} {
+		old := make([]geom.Pt, len(idx))
+		for k, i := range idx {
+			old[k] = s.Ctrl[i]
+		}
+		// Compute all targets against the *original* positions, then apply.
+		targets := make([]geom.Pt, len(idx))
+		for k, i := range idx {
+			prev := s.Ctrl[((i-1)%nn+nn)%nn]
+			next := s.Ctrl[(i+1)%nn]
+			targets[k] = s.Ctrl[i].Lerp(prev.Lerp(next, 0.5), blend)
+		}
+		for k, i := range idx {
+			s.Ctrl[i] = targets[k]
+		}
+		c.refreshShape(shape)
+		kv := c.maxCurvAround(shape, ci)
+		if (kv <= c.rules.CurvPerNM || kv < 0.8*baseline) && c.areaOK(shape) {
+			return true
+		}
+		for k, i := range idx {
+			s.Ctrl[i] = old[k]
+		}
+		c.refreshShape(shape)
+	}
+	return false
+}
+
+// maxCurvAround returns the maximum |κ| over the segments adjacent to
+// control point ci.
+func (c *Checker) maxCurvAround(shape, ci int) float64 {
+	loop := c.mask.Shapes[shape].Loop()
+	n := loop.Segments()
+	kmax := 0.0
+	for off := -2; off <= 1; off++ {
+		seg := ((ci+off)%n + n) % n
+		for k := 0; k < c.rules.SamplesPerSeg; k++ {
+			t := float64(k) / float64(c.rules.SamplesPerSeg)
+			if kv := loop.Curvature(seg, t); kv > kmax {
+				kmax = kv
+			} else if -kv > kmax {
+				kmax = -kv
+			}
+		}
+	}
+	return kmax
+}
+
+// removeShape deletes shape i from the mask and the index.
+func (c *Checker) removeShape(i int) {
+	c.mask.Shapes = append(c.mask.Shapes[:i], c.mask.Shapes[i+1:]...)
+	c.Refresh()
+}

@@ -1,0 +1,96 @@
+// Package optim provides the hand-written first-order optimisers the
+// framework uses in place of PyTorch: plain gradient descent and Adam
+// (Kingma & Ba 2014, the paper's ref [44]), plus the step-decay learning
+// rate schedule the experiments use.
+package optim
+
+import "math"
+
+// Optimizer updates a parameter vector in place from its gradient.
+type Optimizer interface {
+	// Step applies one update: params ← params - f(grad).
+	Step(params, grad []float64)
+	// Reset clears any accumulated state (moments, step counters).
+	Reset()
+}
+
+// SGD is plain gradient descent with a fixed learning rate.
+type SGD struct {
+	LR float64
+}
+
+// NewSGD returns an SGD optimiser with learning rate lr.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grad []float64) {
+	for i := range params {
+		params[i] -= s.LR * grad[i]
+	}
+}
+
+// Reset implements Optimizer (no state).
+func (s *SGD) Reset() {}
+
+// Adam implements the Adam optimiser with bias-corrected first and second
+// moments.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	m, v []float64
+	t    int
+}
+
+// NewAdam returns an Adam optimiser with the canonical β₁=0.9, β₂=0.999,
+// ε=1e-8 defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grad []float64) {
+	if len(a.m) != len(params) {
+		a.m = make([]float64, len(params))
+		a.v = make([]float64, len(params))
+		a.t = 0
+	}
+	a.t++
+	b1t := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2t := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i := range params {
+		g := grad[i]
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*g
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*g*g
+		mHat := a.m[i] / b1t
+		vHat := a.v[i] / b2t
+		params[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+	}
+}
+
+// Reset implements Optimizer.
+func (a *Adam) Reset() {
+	a.m, a.v, a.t = nil, nil, 0
+}
+
+// StepDecay is the learning-rate/moving-distance schedule the paper's
+// experiments use: the base value multiplied by Factor every time the
+// iteration count reaches a milestone (e.g. ×0.5 at iteration 16 of 32).
+type StepDecay struct {
+	Base       float64
+	Factor     float64
+	Milestones []int
+}
+
+// At returns the scheduled value at iteration it (0-based).
+func (s StepDecay) At(it int) float64 {
+	v := s.Base
+	for _, m := range s.Milestones {
+		if it >= m {
+			v *= s.Factor
+		}
+	}
+	return v
+}

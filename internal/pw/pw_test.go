@@ -1,0 +1,119 @@
+package pw
+
+import (
+	"math"
+	"testing"
+
+	"cardopc/internal/geom"
+	"cardopc/internal/litho"
+	"cardopc/internal/raster"
+)
+
+// rampField builds a synthetic aerial image: a bright band of the given
+// width centred at cx, with sigmoid edges.
+func bandField(g raster.Grid, cx, width float64) *raster.Field {
+	f := raster.NewField(g)
+	for y := 0; y < g.Size; y++ {
+		for x := 0; x < g.Size; x++ {
+			w := g.ToWorld(float64(x), float64(y))
+			d := math.Abs(w.X-cx) - width/2
+			f.Set(x, y, 0.45/(1+math.Exp(d/3)))
+		}
+	}
+	return f
+}
+
+func TestMeasureCDOnSyntheticBand(t *testing.T) {
+	g := raster.Grid{Size: 128, Pitch: 4}
+	f := bandField(g, 256, 100)
+	cut := Cut{Center: geom.P(256, 256), Dir: geom.P(1, 0)}
+	cd := MeasureCD(f, cut, 0.225, 120)
+	if math.Abs(cd-100) > 2 {
+		t.Errorf("CD = %v, want ~100", cd)
+	}
+}
+
+func TestMeasureCDFailsGracefully(t *testing.T) {
+	g := raster.Grid{Size: 64, Pitch: 4}
+	dark := raster.NewField(g)
+	cut := Cut{Center: geom.P(128, 128), Dir: geom.P(1, 0)}
+	if cd := MeasureCD(dark, cut, 0.225, 60); cd != 0 {
+		t.Errorf("dark field CD = %v", cd)
+	}
+	// Uniformly bright field: no crossing within range.
+	bright := raster.NewField(g)
+	for i := range bright.Data {
+		bright.Data[i] = 1
+	}
+	if cd := MeasureCD(bright, cut, 0.225, 60); cd != 0 {
+		t.Errorf("bright field CD = %v", cd)
+	}
+}
+
+func TestAnalyzeWindowShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-condition imaging test")
+	}
+	lcfg := litho.DefaultConfig()
+	lcfg.GridSize = 128
+	lcfg.PitchNM = 16
+	g := raster.Grid{Size: lcfg.GridSize, Pitch: lcfg.PitchNM}
+
+	// A 160 nm line whose printed half-width stays inside the crossing
+	// search range.
+	mask := raster.NewField(g)
+	mask.FillPolygon(geom.Rect{Min: geom.P(944, 500), Max: geom.P(1104, 1548)}.Poly(), 4)
+	mask.Clamp01()
+
+	cfg := DefaultConfig()
+	cfg.Doses = []float64{0.9, 1.0, 1.1}
+	cfg.DefociNM = []float64{0, 40, 80}
+	cut := Cut{Center: geom.P(1024, 1024), Dir: geom.P(1, 0)}
+	// Target CD = whatever prints at nominal (self-consistent spec).
+	sim := litho.NewSimulator(lcfg)
+	nomCD := MeasureCD(sim.Aerial(mask), cut, lcfg.Threshold, cfg.SearchNM)
+	if nomCD <= 0 {
+		t.Fatal("line does not print at nominal")
+	}
+	w := Analyze(lcfg, mask, cut, nomCD, cfg)
+
+	if len(w.Points) != 9 {
+		t.Fatalf("points = %d, want 9", len(w.Points))
+	}
+	// The nominal condition is in spec by construction.
+	found := false
+	for _, p := range w.Points {
+		if p.Dose == 1.0 && p.DefocusNM == 0 {
+			found = true
+			if !p.InSpec {
+				t.Errorf("nominal condition out of spec: CD %v vs target %v", p.CDNM, nomCD)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("nominal point missing")
+	}
+	// CD grows with dose at fixed focus.
+	var cdLo, cdHi float64
+	for _, p := range w.Points {
+		if p.DefocusNM == 0 && p.Dose == 0.9 {
+			cdLo = p.CDNM
+		}
+		if p.DefocusNM == 0 && p.Dose == 1.1 {
+			cdHi = p.CDNM
+		}
+	}
+	if cdHi <= cdLo {
+		t.Errorf("CD not monotone in dose: %v vs %v", cdLo, cdHi)
+	}
+	// Window metrics behave.
+	if w.InSpecCount() < 1 {
+		t.Error("no in-spec points at all")
+	}
+	if w.DOFAtNominalDose() < 0 {
+		t.Error("negative DOF")
+	}
+	if el := w.ExposureLatitude(); el < 0 || el > 0.2+1e-9 {
+		t.Errorf("exposure latitude = %v", el)
+	}
+}

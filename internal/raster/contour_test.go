@@ -1,0 +1,207 @@
+package raster
+
+import (
+	"math"
+	"testing"
+
+	"cardopc/internal/geom"
+)
+
+// binFromRect builds a binary image with a filled pixel rectangle.
+func binFromRect(g Grid, x0, y0, x1, y1 int) *Binary {
+	b := NewBinary(g)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			b.Set(x, y, 1)
+		}
+	}
+	return b
+}
+
+func TestTraceSingleRect(t *testing.T) {
+	g := Grid{Size: 32, Pitch: 1}
+	b := binFromRect(g, 5, 5, 14, 12)
+	cs := TraceBoundaries(b)
+	if len(cs) != 1 {
+		t.Fatalf("contours = %d, want 1", len(cs))
+	}
+	c := cs[0]
+	if c.Hole {
+		t.Error("outer contour flagged as hole")
+	}
+	// Border pixels of a 10×8 rectangle: 2*10+2*8-4 = 32.
+	if len(c.Pts) != 32 {
+		t.Errorf("border length = %d, want 32", len(c.Pts))
+	}
+	// Bounding box of traced points covers the pixel-centre extent.
+	bb := c.Pts.Bounds()
+	if bb.Min.X != 5.5 || bb.Max.X != 14.5 || bb.Min.Y != 5.5 || bb.Max.Y != 12.5 {
+		t.Errorf("bounds = %v", bb)
+	}
+}
+
+func TestTraceTwoShapes(t *testing.T) {
+	g := Grid{Size: 32, Pitch: 1}
+	b := binFromRect(g, 2, 2, 6, 6)
+	for y := 20; y <= 25; y++ {
+		for x := 18; x <= 28; x++ {
+			b.Set(x, y, 1)
+		}
+	}
+	cs := TraceBoundaries(b)
+	if len(cs) != 2 {
+		t.Fatalf("contours = %d, want 2", len(cs))
+	}
+}
+
+func TestTraceHole(t *testing.T) {
+	g := Grid{Size: 32, Pitch: 1}
+	b := binFromRect(g, 4, 4, 20, 20)
+	// Punch a hole.
+	for y := 9; y <= 14; y++ {
+		for x := 9; x <= 14; x++ {
+			b.Set(x, y, 0)
+		}
+	}
+	cs := TraceBoundaries(b)
+	if len(cs) != 2 {
+		t.Fatalf("contours = %d, want 2 (outer + hole)", len(cs))
+	}
+	holes := 0
+	for _, c := range cs {
+		if c.Hole {
+			holes++
+		}
+	}
+	if holes != 1 {
+		t.Errorf("holes = %d, want 1", holes)
+	}
+}
+
+func TestTraceIsolatedPixel(t *testing.T) {
+	g := Grid{Size: 8, Pitch: 1}
+	b := NewBinary(g)
+	b.Set(3, 3, 1)
+	cs := TraceBoundaries(b)
+	if len(cs) != 1 || len(cs[0].Pts) != 1 {
+		t.Fatalf("isolated pixel: %d contours", len(cs))
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	b := NewBinary(Grid{Size: 8, Pitch: 1})
+	if cs := TraceBoundaries(b); len(cs) != 0 {
+		t.Errorf("empty image traced %d contours", len(cs))
+	}
+}
+
+func TestTraceTouchingImageEdge(t *testing.T) {
+	g := Grid{Size: 16, Pitch: 1}
+	b := binFromRect(g, 0, 0, 15, 3) // stripe along the bottom edge
+	cs := TraceBoundaries(b)
+	if len(cs) != 1 {
+		t.Fatalf("contours = %d, want 1", len(cs))
+	}
+}
+
+func TestMarchingSquaresCircle(t *testing.T) {
+	g := Grid{Size: 64, Pitch: 1}
+	f := NewField(g)
+	// Fill a disc of radius 20 centred at (32, 32) with a smooth ramp.
+	c := geom.P(32, 32)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			d := g.ToWorld(float64(x), float64(y)).Dist(c)
+			f.Set(x, y, 1/(1+math.Exp(d-20))) // sigmoid edge at r=20
+		}
+	}
+	polys := MarchingSquares(f, 0.5)
+	if len(polys) != 1 {
+		t.Fatalf("contours = %d, want 1", len(polys))
+	}
+	area := polys[0].Area()
+	want := math.Pi * 20 * 20
+	if math.Abs(area-want)/want > 0.03 {
+		t.Errorf("contour area = %v, want ~%v", area, want)
+	}
+	// Every contour point is ~20 from the centre.
+	for _, p := range polys[0] {
+		if d := p.Dist(c); math.Abs(d-20) > 1 {
+			t.Fatalf("contour point %v at distance %v", p, d)
+		}
+	}
+}
+
+func TestMarchingSquaresRect(t *testing.T) {
+	g := Grid{Size: 32, Pitch: 2}
+	f := NewField(g)
+	rect := geom.Rect{Min: geom.P(10, 10), Max: geom.P(50, 42)}.Poly()
+	f.FillPolygon(rect, 4)
+	polys := MarchingSquares(f, 0.5)
+	if len(polys) != 1 {
+		t.Fatalf("contours = %d, want 1", len(polys))
+	}
+	got := polys[0].Area()
+	want := rect.Area()
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("area = %v, want ~%v", got, want)
+	}
+}
+
+func TestMarchingSquaresEmptyAndFull(t *testing.T) {
+	f := NewField(Grid{Size: 8, Pitch: 1})
+	if polys := MarchingSquares(f, 0.5); len(polys) != 0 {
+		t.Errorf("empty field: %d contours", len(polys))
+	}
+	for i := range f.Data {
+		f.Data[i] = 1
+	}
+	// A fully-set field has a single contour hugging the image border
+	// (closed through the zero padding).
+	polys := MarchingSquares(f, 0.5)
+	if len(polys) != 1 {
+		t.Errorf("full field: %d contours", len(polys))
+	}
+}
+
+func TestMarchingSquaresTwoBlobs(t *testing.T) {
+	g := Grid{Size: 64, Pitch: 1}
+	f := NewField(g)
+	a := geom.Rect{Min: geom.P(5, 5), Max: geom.P(20, 20)}.Poly()
+	b := geom.Rect{Min: geom.P(40, 40), Max: geom.P(58, 50)}.Poly()
+	f.FillPolygon(a, 4)
+	f.FillPolygon(b, 4)
+	polys := MarchingSquares(f, 0.5)
+	if len(polys) != 2 {
+		t.Fatalf("contours = %d, want 2", len(polys))
+	}
+}
+
+func BenchmarkFillPolygon(b *testing.B) {
+	g := Grid{Size: 512, Pitch: 4}
+	sq := geom.Rect{Min: geom.P(200, 200), Max: geom.P(1800, 1800)}.Poly()
+	f := NewField(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range f.Data {
+			f.Data[j] = 0
+		}
+		f.FillPolygon(sq, 4)
+	}
+}
+
+func BenchmarkMarchingSquares(b *testing.B) {
+	g := Grid{Size: 256, Pitch: 4}
+	f := NewField(g)
+	c := geom.P(512, 512)
+	for y := 0; y < 256; y++ {
+		for x := 0; x < 256; x++ {
+			d := g.ToWorld(float64(x), float64(y)).Dist(c)
+			f.Set(x, y, 1/(1+math.Exp((d-300)/10)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MarchingSquares(f, 0.5)
+	}
+}

@@ -1,0 +1,125 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cardopc/internal/geom"
+)
+
+// randStar builds a random star-shaped polygon inside the grid.
+func randStar(r *rand.Rand, g Grid) geom.Polygon {
+	c := geom.P(g.Extent()/2, g.Extent()/2)
+	n := 5 + r.Intn(10)
+	poly := make(geom.Polygon, n)
+	for i := range poly {
+		a := 2 * math.Pi * (float64(i) + 0.4*r.Float64()) / float64(n)
+		rad := g.Extent() * (0.1 + 0.25*r.Float64())
+		poly[i] = geom.P(c.X+rad*math.Cos(a), c.Y+rad*math.Sin(a))
+	}
+	return poly
+}
+
+// Property: supersampled coverage integrates to the polygon's area.
+func TestFillAreaMatchesPolygonProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := Grid{Size: 128, Pitch: 4}
+	for trial := 0; trial < 25; trial++ {
+		poly := randStar(r, g)
+		f := NewField(g)
+		f.FillPolygon(poly, 8)
+		got := f.Sum() * g.Pitch * g.Pitch
+		want := poly.Area()
+		if math.Abs(got-want)/want > 0.02 {
+			t.Fatalf("trial %d: raster area %v vs polygon %v", trial, got, want)
+		}
+	}
+}
+
+// Property: marching squares at 0.5 of a hard-filled polygon reproduces its
+// area.
+func TestMarchingSquaresAreaProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	g := Grid{Size: 128, Pitch: 4}
+	for trial := 0; trial < 15; trial++ {
+		poly := randStar(r, g)
+		f := NewField(g)
+		f.FillPolygon(poly, 8)
+		f.Clamp01()
+		var total float64
+		for _, c := range MarchingSquares(f, 0.5) {
+			total += c.Area()
+		}
+		want := poly.Area()
+		if math.Abs(total-want)/want > 0.05 {
+			t.Fatalf("trial %d: contour area %v vs polygon %v", trial, total, want)
+		}
+	}
+}
+
+// Property: Suzuki border following finds exactly one border per disjoint
+// blob, for randomly placed non-touching squares.
+func TestTraceCountsBlobsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	g := Grid{Size: 96, Pitch: 1}
+	for trial := 0; trial < 20; trial++ {
+		b := NewBinary(g)
+		count := 1 + r.Intn(4)
+		placed := 0
+		var boxes []geom.Rect
+		for attempts := 0; placed < count && attempts < 100; attempts++ {
+			x := 5 + r.Intn(70)
+			y := 5 + r.Intn(70)
+			w := 4 + r.Intn(10)
+			box := geom.Rect{Min: geom.P(float64(x), float64(y)), Max: geom.P(float64(x+w), float64(y+w))}
+			ok := true
+			for _, o := range boxes {
+				if box.Expand(2).Intersects(o) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			boxes = append(boxes, box)
+			for yy := y; yy <= y+w; yy++ {
+				for xx := x; xx <= x+w; xx++ {
+					b.Set(xx, yy, 1)
+				}
+			}
+			placed++
+		}
+		cs := TraceBoundaries(b)
+		if len(cs) != placed {
+			t.Fatalf("trial %d: traced %d contours for %d blobs", trial, len(cs), placed)
+		}
+	}
+}
+
+// Property: bilinear interpolation is exact on affine fields.
+func TestBilinearAffineExactProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	g := Grid{Size: 32, Pitch: 2}
+	for trial := 0; trial < 20; trial++ {
+		a := r.Float64() * 2
+		bx := r.Float64()
+		by := r.Float64()
+		f := NewField(g)
+		for y := 0; y < g.Size; y++ {
+			for x := 0; x < g.Size; x++ {
+				w := g.ToWorld(float64(x), float64(y))
+				f.Set(x, y, a+bx*w.X+by*w.Y)
+			}
+		}
+		// Interior sample points (away from the zero-padded border).
+		for k := 0; k < 20; k++ {
+			p := geom.P(8+r.Float64()*44, 8+r.Float64()*44)
+			want := a + bx*p.X + by*p.Y
+			if got := f.Bilinear(p); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("affine field: got %v want %v at %v", got, want, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package render writes SVG snapshots of masks, targets and printed
+// contours — the material of the paper's Fig. 6 examples. It has no
+// dependencies beyond the geometry types and writes plain SVG 1.1.
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"cardopc/internal/geom"
+)
+
+// Style is the stroke/fill of one layer.
+type Style struct {
+	Fill        string
+	Stroke      string
+	StrokeWidth float64
+	Opacity     float64
+}
+
+// Layer is a named group of polygons drawn with one style.
+type Layer struct {
+	Name  string
+	Polys []geom.Polygon
+	Style Style
+}
+
+// Canvas accumulates layers over a world-coordinate viewport.
+type Canvas struct {
+	// View is the world-coordinate viewport (nm).
+	View geom.Rect
+	// WidthPx is the output pixel width (height follows the aspect).
+	WidthPx float64
+
+	layers []Layer
+}
+
+// NewCanvas creates a canvas over the given viewport.
+func NewCanvas(view geom.Rect, widthPx float64) *Canvas {
+	return &Canvas{View: view, WidthPx: widthPx}
+}
+
+// TargetStyle / MaskStyle / ContourStyle / SRAFStyle are the house styles of
+// the Fig. 6 reproductions.
+var (
+	TargetStyle  = Style{Fill: "none", Stroke: "#1f77b4", StrokeWidth: 2, Opacity: 1}
+	MaskStyle    = Style{Fill: "#ffbb66", Stroke: "#cc7700", StrokeWidth: 1, Opacity: 0.85}
+	ContourStyle = Style{Fill: "none", Stroke: "#d62728", StrokeWidth: 2, Opacity: 1}
+	SRAFStyle    = Style{Fill: "#99cc99", Stroke: "#336633", StrokeWidth: 1, Opacity: 0.8}
+)
+
+// Add appends a layer.
+func (c *Canvas) Add(name string, polys []geom.Polygon, style Style) {
+	c.layers = append(c.layers, Layer{Name: name, Polys: polys, Style: style})
+}
+
+// Write renders the SVG document to w.
+func (c *Canvas) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	scale := c.WidthPx / c.View.W()
+	hPx := c.View.H() * scale
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		c.WidthPx, hPx, c.WidthPx, hPx)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	for _, l := range c.layers {
+		fmt.Fprintf(bw, `<g id="%s" fill="%s" stroke="%s" stroke-width="%.2f" opacity="%.2f">`+"\n",
+			l.Name, orNone(l.Style.Fill), orNone(l.Style.Stroke), l.Style.StrokeWidth, orOne(l.Style.Opacity))
+		for _, p := range l.Polys {
+			if len(p) < 2 {
+				continue
+			}
+			bw.WriteString(`<polygon points="`)
+			for i, pt := range p {
+				if i > 0 {
+					bw.WriteByte(' ')
+				}
+				// Flip y: SVG's y axis points down.
+				x := (pt.X - c.View.Min.X) * scale
+				y := hPx - (pt.Y-c.View.Min.Y)*scale
+				fmt.Fprintf(bw, "%.2f,%.2f", x, y)
+			}
+			bw.WriteString(`"/>` + "\n")
+		}
+		bw.WriteString("</g>\n")
+	}
+	bw.WriteString("</svg>\n")
+	return bw.Flush()
+}
+
+// WriteFile renders the SVG document to path.
+func (c *Canvas) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+func orOne(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,92 @@
+package render
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cardopc/internal/geom"
+)
+
+func testCanvas() *Canvas {
+	c := NewCanvas(geom.Rect{Min: geom.P(0, 0), Max: geom.P(200, 100)}, 400)
+	c.Add("target", []geom.Polygon{
+		geom.Rect{Min: geom.P(10, 10), Max: geom.P(60, 40)}.Poly(),
+	}, TargetStyle)
+	c.Add("mask", []geom.Polygon{
+		geom.Rect{Min: geom.P(100, 50), Max: geom.P(150, 90)}.Poly(),
+	}, MaskStyle)
+	return c
+}
+
+func TestWriteToStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testCanvas().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg" width="400" height="200"`,
+		`<g id="target"`,
+		`<g id="mask"`,
+		"</svg>",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+	if got := strings.Count(s, "<polygon"); got != 2 {
+		t.Errorf("polygons = %d, want 2", got)
+	}
+}
+
+func TestYAxisFlipped(t *testing.T) {
+	// A point at world (0, 0) should land at SVG y = height (bottom).
+	c := NewCanvas(geom.Rect{Min: geom.P(0, 0), Max: geom.P(100, 100)}, 100)
+	c.Add("l", []geom.Polygon{{geom.P(0, 0), geom.P(100, 0), geom.P(0, 100)}}, TargetStyle)
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.00,100.00") {
+		t.Error("world origin should map to the SVG bottom-left")
+	}
+}
+
+func TestSkipsDegeneratePolys(t *testing.T) {
+	c := NewCanvas(geom.Rect{Min: geom.P(0, 0), Max: geom.P(10, 10)}, 100)
+	c.Add("l", []geom.Polygon{{geom.P(1, 1)}}, TargetStyle)
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<polygon") {
+		t.Error("single-point polygon should be skipped")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.svg")
+	if err := testCanvas().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("file does not start with <svg")
+	}
+}
+
+func TestStyleDefaults(t *testing.T) {
+	if orNone("") != "none" || orNone("#fff") != "#fff" {
+		t.Error("orNone wrong")
+	}
+	if orOne(0) != 1 || orOne(0.5) != 0.5 {
+		t.Error("orOne wrong")
+	}
+}

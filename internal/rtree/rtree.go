@@ -1,0 +1,311 @@
+// Package rtree implements an R-tree spatial index with Sort-Tile-Recursive
+// (STR) bulk loading, following Leutenegger, Lopez & Edgington (ICDE 1997) —
+// the structure the paper cites for curvilinear MRC spacing/width queries.
+//
+// The tree indexes opaque items by bounding rectangle. It supports window
+// (intersection) queries, segment queries and nearest-neighbour search, plus
+// incremental insertion for shapes created after the bulk load (e.g. SRAFs
+// fitted from ILT output).
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"cardopc/internal/geom"
+)
+
+// MaxEntries is the node fan-out M. Chosen small because mask clips hold
+// hundreds, not millions, of shapes; re-tune if indexing full reticles.
+const MaxEntries = 8
+
+// Item is an indexed spatial object.
+type Item interface {
+	// Bounds returns the item's bounding rectangle.
+	Bounds() geom.Rect
+}
+
+type node struct {
+	rect     geom.Rect
+	children []*node // nil for leaves
+	items    []Item  // nil for internal nodes
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is an R-tree over Items. The zero value is an empty tree ready to
+// use. Tree is safe for concurrent readers once built; mutation requires
+// external synchronisation.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the bounding rectangle of everything in the tree.
+func (t *Tree) Bounds() geom.Rect {
+	if t.root == nil {
+		return geom.EmptyRect()
+	}
+	return t.root.rect
+}
+
+// NewSTR bulk-loads a tree from items using Sort-Tile-Recursive packing:
+// sort by centre x, partition into vertical slabs of ~√(n/M) tiles, sort
+// each slab by centre y, and pack runs of M items per leaf; repeat upward.
+func NewSTR(items []Item) *Tree {
+	t := &Tree{size: len(items)}
+	if len(items) == 0 {
+		return t
+	}
+	leaves := packLeaves(items)
+	t.root = packUpward(leaves)
+	return t
+}
+
+func packLeaves(items []Item) []*node {
+	n := len(items)
+	sorted := make([]Item, n)
+	copy(sorted, items)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Bounds().Center().X < sorted[j].Bounds().Center().X
+	})
+	leafCount := (n + MaxEntries - 1) / MaxEntries
+	slabs := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	perSlab := slabs * MaxEntries
+
+	var leaves []*node
+	for s := 0; s < n; s += perSlab {
+		end := min(s+perSlab, n)
+		slab := sorted[s:end]
+		sort.SliceStable(slab, func(i, j int) bool {
+			return slab[i].Bounds().Center().Y < slab[j].Bounds().Center().Y
+		})
+		for i := 0; i < len(slab); i += MaxEntries {
+			j := min(i+MaxEntries, len(slab))
+			leaf := &node{items: append([]Item(nil), slab[i:j]...), rect: geom.EmptyRect()}
+			for _, it := range leaf.items {
+				leaf.rect = leaf.rect.Union(it.Bounds())
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func packUpward(level []*node) *node {
+	for len(level) > 1 {
+		sort.SliceStable(level, func(i, j int) bool {
+			return level[i].rect.Center().X < level[j].rect.Center().X
+		})
+		groups := (len(level) + MaxEntries - 1) / MaxEntries
+		slabs := int(math.Ceil(math.Sqrt(float64(groups))))
+		perSlab := slabs * MaxEntries
+		var next []*node
+		for s := 0; s < len(level); s += perSlab {
+			end := min(s+perSlab, len(level))
+			slab := level[s:end]
+			sort.SliceStable(slab, func(i, j int) bool {
+				return slab[i].rect.Center().Y < slab[j].rect.Center().Y
+			})
+			for i := 0; i < len(slab); i += MaxEntries {
+				j := min(i+MaxEntries, len(slab))
+				parent := &node{children: append([]*node(nil), slab[i:j]...), rect: geom.EmptyRect()}
+				for _, c := range parent.children {
+					parent.rect = parent.rect.Union(c.rect)
+				}
+				next = append(next, parent)
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Insert adds one item, descending by least half-perimeter enlargement and
+// splitting overfull leaves along their longer axis.
+func (t *Tree) Insert(it Item) {
+	t.size++
+	if t.root == nil {
+		t.root = &node{items: []Item{it}, rect: it.Bounds()}
+		return
+	}
+	if split := t.root.insert(it); split != nil {
+		t.root = &node{
+			children: []*node{t.root, split},
+			rect:     t.root.rect.Union(split.rect),
+		}
+	}
+}
+
+func (n *node) insert(it Item) *node {
+	n.rect = n.rect.Union(it.Bounds())
+	if n.leaf() {
+		n.items = append(n.items, it)
+		if len(n.items) > MaxEntries {
+			return n.splitLeaf()
+		}
+		return nil
+	}
+	best := 0
+	bestCost := math.Inf(1)
+	for i, c := range n.children {
+		cost := c.rect.Enlarged(it.Bounds())
+		if cost < bestCost || (cost == bestCost && c.rect.Area() < n.children[best].rect.Area()) {
+			best, bestCost = i, cost
+		}
+	}
+	if split := n.children[best].insert(it); split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > MaxEntries {
+			return n.splitInternal()
+		}
+	}
+	return nil
+}
+
+func (n *node) splitLeaf() *node {
+	axis := n.rect.W() < n.rect.H() // true: split along y
+	sort.SliceStable(n.items, func(i, j int) bool {
+		ci, cj := n.items[i].Bounds().Center(), n.items[j].Bounds().Center()
+		if axis {
+			return ci.Y < cj.Y
+		}
+		return ci.X < cj.X
+	})
+	half := len(n.items) / 2
+	sib := &node{items: append([]Item(nil), n.items[half:]...), rect: geom.EmptyRect()}
+	n.items = n.items[:half]
+	n.rect = geom.EmptyRect()
+	for _, it := range n.items {
+		n.rect = n.rect.Union(it.Bounds())
+	}
+	for _, it := range sib.items {
+		sib.rect = sib.rect.Union(it.Bounds())
+	}
+	return sib
+}
+
+func (n *node) splitInternal() *node {
+	axis := n.rect.W() < n.rect.H()
+	sort.SliceStable(n.children, func(i, j int) bool {
+		ci, cj := n.children[i].rect.Center(), n.children[j].rect.Center()
+		if axis {
+			return ci.Y < cj.Y
+		}
+		return ci.X < cj.X
+	})
+	half := len(n.children) / 2
+	sib := &node{children: append([]*node(nil), n.children[half:]...), rect: geom.EmptyRect()}
+	n.children = n.children[:half]
+	n.rect = geom.EmptyRect()
+	for _, c := range n.children {
+		n.rect = n.rect.Union(c.rect)
+	}
+	for _, c := range sib.children {
+		sib.rect = sib.rect.Union(c.rect)
+	}
+	return sib
+}
+
+// Search calls fn for every item whose bounds intersect window. Returning
+// false from fn stops the search early.
+func (t *Tree) Search(window geom.Rect, fn func(Item) bool) {
+	if t.root != nil {
+		t.root.search(window, fn)
+	}
+}
+
+func (n *node) search(window geom.Rect, fn func(Item) bool) bool {
+	if !n.rect.Intersects(window) {
+		return true
+	}
+	if n.leaf() {
+		for _, it := range n.items {
+			if it.Bounds().Intersects(window) {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !c.search(window, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchSeg calls fn for every item whose bounds intersect the bounding box
+// of segment s. Exact segment-vs-geometry tests are the caller's job (the
+// tree only culls by rectangle).
+func (t *Tree) SearchSeg(s geom.Seg, fn func(Item) bool) {
+	t.Search(s.Bounds(), fn)
+}
+
+// Nearest returns the item whose bounding rectangle is closest to p, or nil
+// for an empty tree. Distance ties are broken arbitrarily.
+func (t *Tree) Nearest(p geom.Pt) Item {
+	if t.root == nil {
+		return nil
+	}
+	var best Item
+	bestD := math.Inf(1)
+	t.root.nearest(p, &best, &bestD)
+	return best
+}
+
+func (n *node) nearest(p geom.Pt, best *Item, bestD *float64) {
+	if n.rect.DistSq(p) >= *bestD {
+		return
+	}
+	if n.leaf() {
+		for _, it := range n.items {
+			if d := it.Bounds().DistSq(p); d < *bestD {
+				*bestD = d
+				*best = it
+			}
+		}
+		return
+	}
+	// Visit children closest-first for tighter pruning.
+	order := make([]int, len(n.children))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return n.children[order[a]].rect.DistSq(p) < n.children[order[b]].rect.DistSq(p)
+	})
+	for _, i := range order {
+		n.children[i].nearest(p, best, bestD)
+	}
+}
+
+// All calls fn for every item in the tree.
+func (t *Tree) All(fn func(Item) bool) {
+	t.Search(t.Bounds(), fn)
+}
+
+// Depth returns the height of the tree (0 for empty).
+func (t *Tree) Depth() int {
+	d := 0
+	for n := t.root; n != nil; {
+		d++
+		if n.leaf() {
+			break
+		}
+		n = n.children[0]
+	}
+	return d
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

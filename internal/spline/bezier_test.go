@@ -1,0 +1,94 @@
+package spline
+
+import (
+	"math"
+	"testing"
+
+	"cardopc/internal/geom"
+)
+
+func TestBezierInterpolatesControlPoints(t *testing.T) {
+	b := NewBezierCurve(circleCtrl(8, 90), 0.6)
+	for i := 0; i < b.Segments(); i++ {
+		if got := b.At(i, 0); !got.ApproxEq(b.Ctrl[i], 1e-9) {
+			t.Errorf("seg %d: p(0) = %v, want %v", i, got, b.Ctrl[i])
+		}
+		next := b.Ctrl[(i+1)%len(b.Ctrl)]
+		if got := b.At(i, 1); !got.ApproxEq(next, 1e-9) {
+			t.Errorf("seg %d: p(1) = %v, want %v", i, got, next)
+		}
+	}
+}
+
+func TestBezierDerivMatchesFiniteDifference(t *testing.T) {
+	b := NewBezierCurve(circleCtrl(7, 60), 0.6)
+	h := 1e-6
+	for i := 0; i < b.Segments(); i++ {
+		for _, tt := range []float64{0.2, 0.5, 0.8} {
+			fd := b.At(i, tt+h).Sub(b.At(i, tt-h)).Mul(1 / (2 * h))
+			an := b.Deriv(i, tt)
+			if fd.Dist(an) > 1e-3 {
+				t.Errorf("seg %d t=%v: analytic %v vs fd %v", i, tt, an, fd)
+			}
+		}
+	}
+}
+
+func TestBezierNormalUnit(t *testing.T) {
+	b := NewBezierCurve(circleCtrl(8, 70), 0.6)
+	for _, tt := range []float64{0.1, 0.5, 0.9} {
+		n := b.Normal(2, tt)
+		if math.Abs(n.Norm()-1) > 1e-9 {
+			t.Errorf("normal not unit: %v", n)
+		}
+	}
+}
+
+func TestBezierCircleCurvature(t *testing.T) {
+	// The chord-scaled handle construction is only approximately circular;
+	// allow a generous band around 1/R.
+	R := 150.0
+	b := NewBezierCurve(circleCtrl(64, R), 0.5)
+	k := math.Abs(b.Curvature(10, 0.5))
+	if math.Abs(k-1/R) > 0.5/R {
+		t.Errorf("circle curvature = %v, want ~%v", k, 1/R)
+	}
+}
+
+func TestBezierSample(t *testing.T) {
+	b := NewBezierCurve(squareCtrl(40), 0.6)
+	poly := b.Sample(10)
+	if len(poly) != 40 {
+		t.Fatalf("len = %d", len(poly))
+	}
+	buf := b.SampleInto(make(geom.Polygon, 0, 64), 10)
+	for i := range buf {
+		if buf[i] != poly[i] {
+			t.Fatalf("SampleInto differs at %d", i)
+		}
+	}
+}
+
+func TestBezierTracksCardinalShape(t *testing.T) {
+	// For the ablation to be meaningful the two splines must trace similar
+	// shapes over the same control polygon: compare enclosed areas.
+	ctrl := circleCtrl(24, 100)
+	card := NewCurve(ctrl, 0.6).Sample(8).Area()
+	bez := NewBezierCurve(ctrl, 0.6).Sample(8).Area()
+	if math.Abs(card-bez)/card > 0.05 {
+		t.Errorf("areas diverge: cardinal %v vs bezier %v", card, bez)
+	}
+}
+
+func TestNewLoopKinds(t *testing.T) {
+	ctrl := circleCtrl(6, 50)
+	if _, ok := NewLoop(Cardinal, ctrl, 0.6).(*Curve); !ok {
+		t.Error("Cardinal kind should build *Curve")
+	}
+	if _, ok := NewLoop(Bezier, ctrl, 0.6).(*BezierCurve); !ok {
+		t.Error("Bezier kind should build *BezierCurve")
+	}
+	if Cardinal.String() != "cardinal" || Bezier.String() != "bezier" || Kind(9).String() != "unknown" {
+		t.Error("Kind.String values wrong")
+	}
+}

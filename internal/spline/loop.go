@@ -1,0 +1,58 @@
+package spline
+
+import "cardopc/internal/geom"
+
+// Loop is the common interface of closed spline loops over a shared set of
+// on-curve control points. Both cardinal and Bézier loops implement it, which
+// is what lets the OPC core swap spline kinds for the §IV-D ablation.
+type Loop interface {
+	// Segments returns the number of curve segments (== control points).
+	Segments() int
+	// At evaluates the point on segment i at t ∈ [0,1].
+	At(i int, t float64) geom.Pt
+	// Deriv evaluates the first derivative on segment i at t.
+	Deriv(i int, t float64) geom.Pt
+	// Normal returns the unit left normal on segment i at t.
+	Normal(i int, t float64) geom.Pt
+	// Curvature returns the signed curvature on segment i at t.
+	Curvature(i int, t float64) float64
+	// Sample returns perSeg samples per segment around the closed loop.
+	Sample(perSeg int) geom.Polygon
+	// SampleInto is Sample reusing dst's backing storage.
+	SampleInto(dst geom.Polygon, perSeg int) geom.Polygon
+}
+
+// Kind selects a spline representation.
+type Kind int
+
+const (
+	// Cardinal selects cardinal splines (the paper's contribution).
+	Cardinal Kind = iota
+	// Bezier selects cubic Bézier splines (ablation baseline, refs [31,32]).
+	Bezier
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Cardinal:
+		return "cardinal"
+	case Bezier:
+		return "bezier"
+	default:
+		return "unknown"
+	}
+}
+
+// NewLoop builds a closed loop of the given kind over ctrl.
+func NewLoop(kind Kind, ctrl []geom.Pt, tension float64) Loop {
+	if kind == Bezier {
+		return NewBezierCurve(ctrl, tension)
+	}
+	return NewCurve(ctrl, tension)
+}
+
+var (
+	_ Loop = (*Curve)(nil)
+	_ Loop = (*BezierCurve)(nil)
+)

@@ -1,0 +1,126 @@
+package spline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cardopc/internal/geom"
+)
+
+// randLoop builds a star-shaped control loop.
+func randLoop(r *rand.Rand, n int, radius float64) []geom.Pt {
+	pts := make([]geom.Pt, n)
+	for i := range pts {
+		a := 2 * math.Pi * (float64(i) + 0.3*r.Float64()) / float64(n)
+		rad := radius * (0.7 + 0.6*r.Float64())
+		pts[i] = geom.P(rad*math.Cos(a), rad*math.Sin(a))
+	}
+	return pts
+}
+
+// Property: uniform scaling by k scales curvature by 1/k everywhere.
+func TestCurvatureScalesInverselyProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		ctrl := randLoop(r, 6+r.Intn(8), 50+100*r.Float64())
+		k := 0.5 + 3*r.Float64()
+		scaled := make([]geom.Pt, len(ctrl))
+		for i, p := range ctrl {
+			scaled[i] = p.Mul(k)
+		}
+		a := NewCurve(ctrl, 0.6)
+		b := NewCurve(scaled, 0.6)
+		for i := 0; i < a.Segments(); i++ {
+			for _, tt := range []float64{0.2, 0.7} {
+				ka := a.Curvature(i, tt)
+				kb := b.Curvature(i, tt)
+				if math.Abs(ka) < 1e-9 {
+					continue
+				}
+				if math.Abs(kb-ka/k) > 1e-6*math.Abs(ka/k)+1e-12 {
+					t.Fatalf("trial %d seg %d t=%v: κ %v scaled %v, want %v",
+						trial, i, tt, ka, kb, ka/k)
+				}
+			}
+		}
+	}
+}
+
+// Property: rotating the control loop rotates samples but preserves
+// curvature and arc length.
+func TestRotationInvarianceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		ctrl := randLoop(r, 7, 80)
+		ang := 2 * math.Pi * r.Float64()
+		cos, sin := math.Cos(ang), math.Sin(ang)
+		rot := make([]geom.Pt, len(ctrl))
+		for i, p := range ctrl {
+			rot[i] = geom.P(cos*p.X-sin*p.Y, sin*p.X+cos*p.Y)
+		}
+		a := NewCurve(ctrl, 0.6)
+		b := NewCurve(rot, 0.6)
+		if la, lb := a.ArcLength(8), b.ArcLength(8); math.Abs(la-lb) > 1e-6*la {
+			t.Fatalf("arc length changed under rotation: %v vs %v", la, lb)
+		}
+		for i := 0; i < a.Segments(); i++ {
+			ka := a.Curvature(i, 0.5)
+			kb := b.Curvature(i, 0.5)
+			if math.Abs(ka-kb) > 1e-9*math.Max(1, math.Abs(ka)) {
+				t.Fatalf("curvature changed under rotation: %v vs %v", ka, kb)
+			}
+		}
+	}
+}
+
+// Property: the sampled loop length converges as sampling density grows.
+func TestArcLengthConvergesProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		ctrl := randLoop(r, 8, 60)
+		c := NewCurve(ctrl, 0.6)
+		coarse := c.ArcLength(4)
+		fine := c.ArcLength(64)
+		finer := c.ArcLength(128)
+		// Chord lengths underestimate: coarse <= fine <= finer.
+		if coarse > fine+1e-9 || fine > finer+1e-9 {
+			t.Fatalf("arc length not monotone: %v, %v, %v", coarse, fine, finer)
+		}
+		if math.Abs(finer-fine)/finer > 0.001 {
+			t.Fatalf("arc length not converged: %v vs %v", fine, finer)
+		}
+	}
+}
+
+// Property: increasing tension up to 1 keeps interpolation but changes
+// fullness — the loop still passes through every control point.
+func TestTensionPreservesInterpolationProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	ctrl := randLoop(r, 9, 70)
+	for _, s := range []float64{0.1, 0.4, 0.6, 0.9, 1.2} {
+		c := NewCurve(ctrl, s)
+		for i := range ctrl {
+			if got := c.At(i, 0); !got.ApproxEq(ctrl[i], 1e-9) {
+				t.Fatalf("tension %v: loop misses control point %d", s, i)
+			}
+		}
+	}
+}
+
+// Property: Bézier and cardinal loops over the same control points have
+// identical tangent directions at the control points (the Hermite
+// construction shares tangents).
+func TestBezierSharesTangentsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	ctrl := randLoop(r, 8, 90)
+	card := NewCurve(ctrl, 0.6)
+	bez := NewBezierCurve(ctrl, 0.6)
+	for i := range ctrl {
+		tc := card.Deriv(i, 0).Unit()
+		tb := bez.Deriv(i, 0).Unit()
+		if !tc.ApproxEq(tb, 1e-9) {
+			t.Fatalf("tangent mismatch at %d: %v vs %v", i, tc, tb)
+		}
+	}
+}
