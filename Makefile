@@ -1,0 +1,34 @@
+# Development entry points. CI (.github/workflows/ci.yml) runs the same
+# targets; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test vet race bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+# Unit + integration tests; includes the analysis self-check gate
+# (internal/analysis/selfcheck_test.go), which fails the build on any
+# new cardopc-vet diagnostic.
+test:
+	$(GO) test ./...
+
+# go vet plus the repo's own analyzer suite over every package.
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/cardopc-vet ./...
+
+# Race-detector pass over the whole module. Slow (the parallel
+# aerial/gradient reductions dominate); run before merging anything that
+# touches goroutine fan-out in internal/litho, internal/fft or
+# internal/bigopc.
+race:
+	$(GO) test -race ./...
+
+# Paper-artefact benches at reduced settings; CARDOPC_FULL=1 for
+# paper-fidelity runs.
+bench:
+	$(GO) test -bench . -benchtime 1x .

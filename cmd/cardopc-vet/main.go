@@ -1,0 +1,26 @@
+// Command cardopc-vet runs CardOPC's project-specific static-analysis
+// suite (internal/analysis) over the module: floatcmp, nanguard,
+// loopcapture, mutexcopy, errcheck-lite and bufalias. It is the same
+// gate selfcheck_test.go enforces under `go test ./...`, exposed as a
+// binary so CI and humans share one tool.
+//
+// Usage:
+//
+//	go run ./cmd/cardopc-vet ./...
+//	go run ./cmd/cardopc-vet -only=floatcmp,nanguard ./...
+//	go run ./cmd/cardopc-vet -json ./... | jq .
+//	go run ./cmd/cardopc-vet -allowlist=.cardopc-vet-allow ./...
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on
+// usage or load errors.
+package main
+
+import (
+	"os"
+
+	"cardopc/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.CLIMain(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -96,7 +96,7 @@ func main() {
 		}
 		lib := gds.NewLibrary("CARDOPC_"+clip.Name, polys)
 		if err := lib.Write(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {

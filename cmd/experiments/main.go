@@ -77,16 +77,21 @@ func main() {
 	}
 
 	ran := false
+	emit := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *all || *table == 1 {
-		exp.Table1(opts).Fprint(os.Stdout)
+		emit(exp.Table1(opts).Fprint(os.Stdout))
 		ran = true
 	}
 	if *all || *table == 2 {
-		exp.Table2(opts).Fprint(os.Stdout)
+		emit(exp.Table2(opts).Fprint(os.Stdout))
 		ran = true
 	}
 	if *all || *table == 3 {
-		exp.Table3(opts).Fprint(os.Stdout)
+		emit(exp.Table3(opts).Fprint(os.Stdout))
 		ran = true
 	}
 	if *all || *fig == 6 {
@@ -96,23 +101,23 @@ func main() {
 		ran = true
 	}
 	if *all || *fig == 7 {
-		exp.Fig7(opts).Fprint(os.Stdout)
+		emit(exp.Fig7(opts).Fprint(os.Stdout))
 		ran = true
 	}
 	if *all || *ablation {
-		exp.AblationSpline(opts).Fprint(os.Stdout)
+		emit(exp.AblationSpline(opts).Fprint(os.Stdout))
 		ran = true
 	}
 	if *all || *cost {
-		exp.MaskCost(opts).Fprint(os.Stdout)
+		emit(exp.MaskCost(opts).Fprint(os.Stdout))
 		ran = true
 	}
 	if *all || *pwindow {
-		exp.ProcessWindowTable(opts).Fprint(os.Stdout)
+		emit(exp.ProcessWindowTable(opts).Fprint(os.Stdout))
 		ran = true
 	}
 	if *all || *tension {
-		exp.AblationTension(opts, nil).Fprint(os.Stdout)
+		emit(exp.AblationTension(opts, nil).Fprint(os.Stdout))
 		ran = true
 	}
 	if !ran {

@@ -16,7 +16,6 @@ import (
 	"os"
 
 	"cardopc/internal/core"
-	"cardopc/internal/geom"
 	"cardopc/internal/layout"
 	"cardopc/internal/mrc"
 	"cardopc/internal/spline"
@@ -48,7 +47,7 @@ func main() {
 		log.Fatal(err)
 	}
 	clip, err := layout.ReadClip(f)
-	f.Close()
+	_ = f.Close() // read side; ReadClip's error is the one that matters
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,7 +102,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := layout.WriteClip(g, out); err != nil {
-			g.Close()
+			_ = g.Close()
 			log.Fatal(err)
 		}
 		if err := g.Close(); err != nil {
@@ -111,5 +110,4 @@ func main() {
 		}
 		fmt.Printf("mask written to %s\n", *outPath)
 	}
-	_ = geom.Pt{}
 }

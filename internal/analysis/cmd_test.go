@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTempModule lays out a throwaway single-package module with one
+// floatcmp violation, so the CLI smoke tests exercise the full
+// load-analyze-report path without touching the real module.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module smoketest\n\ngo 1.22\n",
+		"lib.go": "package lib\n\nfunc cmp(a, b float64) bool {\n\treturn a*2 == b\n}\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestCLIReportsViolation(t *testing.T) {
+	dir := writeTempModule(t)
+	var out, errb strings.Builder
+	code := CLIMain([]string{dir}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[floatcmp]") || !strings.Contains(out.String(), "lib.go:4:") {
+		t.Errorf("diagnostic output missing position or analyzer:\n%s", out.String())
+	}
+}
+
+func TestCLIOnlySelectsAnalyzers(t *testing.T) {
+	dir := writeTempModule(t)
+	var out, errb strings.Builder
+	if code := CLIMain([]string{"-only=errcheck-lite", dir}, &out, &errb); code != 0 {
+		t.Errorf("errcheck-lite only should pass, exit = %d:\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := CLIMain([]string{"-only=floatcmp", dir}, &out, &errb); code != 1 {
+		t.Errorf("floatcmp only should fail, exit = %d", code)
+	}
+	if code := CLIMain([]string{"-only=nosuch", dir}, &out, &errb); code != 2 {
+		t.Errorf("unknown analyzer should exit 2, got %d", code)
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	dir := writeTempModule(t)
+	var out, errb strings.Builder
+	if code := CLIMain([]string{"-json", dir}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "floatcmp" || diags[0].Pos.Line != 4 {
+		t.Errorf("unexpected JSON diagnostics: %+v", diags)
+	}
+}
+
+func TestCLIAllowlistSuppresses(t *testing.T) {
+	dir := writeTempModule(t)
+	allow := filepath.Join(dir, "allow.txt")
+	if err := os.WriteFile(allow, []byte("floatcmp lib.go:4 # smoke-test exception\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := CLIMain([]string{"-allowlist=" + allow, dir}, &out, &errb); code != 0 {
+		t.Errorf("allowlisted run should pass, exit = %d:\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestCLIListsAnalyzers(t *testing.T) {
+	var out, errb strings.Builder
+	if code := CLIMain([]string{"-analyzers"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, a := range All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("analyzer %s missing from listing", a.Name)
+		}
+	}
+}
+
+func TestParseAllowlistRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "allow.txt")
+	for _, bad := range []string{"justonefield\n", "floatcmp a.go:zero\n"} {
+		if err := os.WriteFile(p, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseAllowlist(p); err == nil {
+			t.Errorf("ParseAllowlist accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheckLite flags statements that call a function returning an
+// error and silently drop it. In a pipeline that writes GDS output,
+// resolves MRC violations and shells results to disk, a swallowed
+// error turns into a truncated mask file discovered at tape-out.
+//
+// Only *implicit* discards are flagged: an expression statement whose
+// call returns an error. Explicitly assigning to the blank identifier
+// ("_ = f.Close()") is a visible, reviewable decision and passes, as
+// do deferred calls (the deferred-Close idiom) and a small excused
+// set:
+//   - fmt printing to stdout/stderr, and writes into bytes.Buffer or
+//     strings.Builder, which are documented never to return an error;
+//   - writes into a *bufio.Writer, whose error is sticky and surfaces
+//     at Flush — and a discarded Flush is still flagged, so the
+//     error cannot actually be lost.
+//
+// Test files are outside the gate entirely.
+var ErrCheckLite = &Analyzer{
+	Name: "errcheck-lite",
+	Doc:  "flag implicitly discarded error returns outside _test.go files",
+	Run:  runErrCheckLite,
+}
+
+func runErrCheckLite(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || errExcused(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "call discards its error result; handle it or assign to _ explicitly")
+			return true
+		})
+	}
+}
+
+// returnsError reports whether call yields an error (alone or in a
+// tuple).
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var universeError = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return t != nil && types.Identical(t, universeError) }
+
+// errExcused reports whether the callee is on the excused list:
+// fmt.Print* to stdout, fmt.Fprint* to os.Stdout/os.Stderr, and
+// methods of bytes.Buffer and strings.Builder.
+func errExcused(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return false
+	}
+	full := fn.FullName()
+	switch {
+	case full == "fmt.Print" || full == "fmt.Printf" || full == "fmt.Println":
+		return true
+	case full == "fmt.Fprint" || full == "fmt.Fprintf" || full == "fmt.Fprintln":
+		return len(call.Args) > 0 && (isStdStream(call.Args[0]) || isBufioWriter(pass.TypeOf(call.Args[0])))
+	case strings.HasPrefix(full, "(*bytes.Buffer)."),
+		strings.HasPrefix(full, "(*strings.Builder)."):
+		return true
+	case strings.HasPrefix(full, "(*bufio.Writer).") && fn.Name() != "Flush":
+		return true
+	}
+	return false
+}
+
+func isBufioWriter(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "bufio" && named.Obj().Name() == "Writer"
+}
+
+func isStdStream(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "os" && (sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LoopCapture guards the worker fan-out paths: goroutines and defers
+// launched from loop bodies must receive loop variables as arguments,
+// not capture them, and must not grow shared slices without
+// synchronisation.
+//
+// Two findings:
+//   - a go/defer function literal inside a loop that references the
+//     loop variable by capture. Go 1.22 made range variables
+//     per-iteration, so this is no longer the classic last-value bug,
+//     but the repo treats capture-by-argument as a hard style/portability
+//     invariant on fan-out paths: explicit arguments keep the data flow
+//     visible and survive backports;
+//   - "x = append(x, ...)" inside a go literal where x is declared
+//     outside the literal — concurrent append on a shared slice races
+//     on both the length and the backing array.
+var LoopCapture = &Analyzer{
+	Name: "loopcapture",
+	Doc:  "flag go/defer literals capturing loop variables or appending to shared slices",
+	Run:  runLoopCapture,
+}
+
+func runLoopCapture(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		// Collect the loop-variable objects of every for/range statement,
+		// keyed by the loop's body, so nested walks can check membership.
+		type loop struct {
+			body *ast.BlockStmt
+			vars map[any]bool
+		}
+		var loops []loop
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				vars := map[any]bool{}
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.ObjectOf(id); obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+				if len(vars) > 0 {
+					loops = append(loops, loop{n.Body, vars})
+				}
+			case *ast.ForStmt:
+				vars := map[any]bool{}
+				if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, e := range init.Lhs {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := pass.ObjectOf(id); obj != nil {
+								vars[obj] = true
+							}
+						}
+					}
+				}
+				if len(vars) > 0 {
+					loops = append(loops, loop{n.Body, vars})
+				}
+			}
+			return true
+		})
+
+		inLoop := func(pos token.Pos) map[any]bool {
+			merged := map[any]bool{}
+			for _, l := range loops {
+				if l.body.Pos() <= pos && pos < l.body.End() {
+					for obj := range l.vars {
+						merged[obj] = true
+					}
+				}
+			}
+			return merged
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			var lit *ast.FuncLit
+			var kind string
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				lit, _ = n.Call.Fun.(*ast.FuncLit)
+				kind = "go"
+			case *ast.DeferStmt:
+				lit, _ = n.Call.Fun.(*ast.FuncLit)
+				kind = "defer"
+			default:
+				return true
+			}
+			if lit == nil {
+				return true
+			}
+			loopVars := inLoop(lit.Pos())
+			reported := map[any]bool{}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.Ident:
+					obj := pass.ObjectOf(m)
+					if obj == nil || !loopVars[obj] || reported[obj] {
+						return true
+					}
+					// Redeclared inside the literal (e.g. a parameter of
+					// the same name) resolves to a different object, so a
+					// hit here is a genuine capture.
+					reported[obj] = true
+					pass.Reportf(m.Pos(), "%s literal captures loop variable %s; pass it as an argument", kind, m.Name)
+				case *ast.AssignStmt:
+					if kind == "go" {
+						checkSharedAppend(pass, lit, m)
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// checkSharedAppend flags "x = append(x, ...)" where x lives outside
+// the goroutine literal.
+func checkSharedAppend(pass *Pass, lit *ast.FuncLit, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if name, ok := calleeName(call); !ok || name != "append" {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() >= lit.End() {
+			if lockHeldBefore(lit, as.Pos()) {
+				continue
+			}
+			pass.Reportf(as.Pos(), "append to %s, declared outside this goroutine, races without synchronisation; collect per-worker results instead", id.Name)
+		}
+	}
+}
+
+// lockHeldBefore reports whether the literal calls a .Lock() method
+// before pos — the mutex-protected append idiom. Purely lexical: it
+// trusts that a preceding Lock guards the statement rather than
+// proving it, which is the right precision/noise trade for a gate
+// (the -race run remains the ground truth).
+func lockHeldBefore(lit *ast.FuncLit, pos token.Pos) bool {
+	held := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos || held {
+			return !held
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			held = true
+		}
+		return !held
+	})
+	return held
+}

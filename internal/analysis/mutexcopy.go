@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MutexCopy is a lite copylocks: it flags by-value movement of structs
+// that contain sync primitives. A copied sync.Mutex is a fork of the
+// lock state — both copies unlock freely and the critical section is
+// gone; a copied WaitGroup deadlocks or panics. The simulator and tile
+// drivers hand Config/state structs around constantly, so the moment
+// someone embeds a lock in one of them this fires.
+//
+// Flagged sites: value receivers and value parameters whose type
+// contains a lock, range values copying lock-holding elements, and
+// plain assignments that copy an existing lock-holding value.
+// Composite-literal initialisation ("mu := sync.Mutex{}", constructors
+// returning fresh values) is the legal way to create one and is not
+// flagged.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flag by-value copies of structs containing sync.Mutex/WaitGroup/etc.",
+	Run:  runMutexCopy,
+}
+
+// lockTypes are the sync types whose by-value copy is a bug.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+func runMutexCopy(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(pass, n.Recv, "receiver")
+				checkFieldList(pass, n.Type.Params, "parameter")
+			case *ast.FuncLit:
+				checkFieldList(pass, n.Type.Params, "parameter")
+			case *ast.AssignStmt:
+				checkLockAssign(pass, n)
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := pass.TypeOf(n.Value); containsLock(t) {
+						pass.Reportf(n.Value.Pos(), "range value copies %s, which contains a lock; iterate by index or over pointers", types.TypeString(t, nil))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFieldList(pass *Pass, fl *ast.FieldList, what string) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		t := pass.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		if _, ptr := t.(*types.Pointer); ptr {
+			continue
+		}
+		if containsLock(t) {
+			pass.Reportf(f.Type.Pos(), "%s passes %s by value, copying its lock; use a pointer", what, types.TypeString(t, nil))
+		}
+	}
+}
+
+// checkLockAssign flags assignments whose RHS copies an existing
+// lock-holding value (reads of variables/fields/derefs — not composite
+// literals, which are initialisation).
+func checkLockAssign(pass *Pass, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i < len(as.Lhs) {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+		}
+		e := ast.Unparen(rhs)
+		if !isPlainValue(e) {
+			continue
+		}
+		if t := pass.TypeOf(e); containsLock(t) {
+			pass.Reportf(rhs.Pos(), "assignment copies %s, which contains a lock; use a pointer", types.TypeString(t, nil))
+		}
+	}
+}
+
+// containsLock reports whether t (by value) embeds a sync primitive,
+// looking through named types, structs and arrays.
+func containsLock(t types.Type) bool {
+	return lockWalk(t, map[types.Type]bool{})
+}
+
+func lockWalk(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return true
+		}
+		return lockWalk(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if lockWalk(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockWalk(t.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfCheck is the standing correctness gate: it runs the full
+// analyzer suite over this module and fails on any diagnostic that is
+// not covered by an inline //cardopc:allow directive or the root
+// allowlist file. Because it runs under plain `go test ./...`, every
+// future PR inherits the gate automatically.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-check loads and type-checks the whole module")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The loader must see the same program the compiler does; type
+	// errors here mean analyzers are running half-blind.
+	for _, pkg := range mod.Pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error during analysis load: %v", pkg.Path, terr)
+		}
+	}
+
+	var allow *Allowlist
+	if p := filepath.Join(root, DefaultAllowlistName); fileReadable(p) {
+		allow, err = ParseAllowlist(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	diags := allow.Filter(root, Run(mod, All()))
+	for _, d := range diags {
+		t.Errorf("%v", d)
+	}
+	// An allowlist entry that matches nothing is debt: either the
+	// violation was fixed (delete the entry) or the code moved (re-pin
+	// it).
+	for _, ent := range allow.Stale() {
+		t.Errorf("stale allowlist entry: %s %s:%d (%s)", ent.Analyzer, ent.Path, ent.Line, ent.Reason)
+	}
+}
+
+func fileReadable(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && !info.IsDir()
+}

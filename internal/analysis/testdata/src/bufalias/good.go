@@ -1,0 +1,67 @@
+// Known-good fixture for the bufalias analyzer: goroutine-owned
+// scratch and per-worker sharding, the two sanctioned patterns.
+package fft
+
+import "sync"
+
+type field struct{ data []float64 }
+
+func scale(dst *field, k float64) {
+	for i := range dst.data {
+		dst.data[i] *= k
+	}
+}
+
+// ownedScratch allocates the buffer inside the goroutine.
+func ownedScratch(workers, n int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := &field{data: make([]float64, n)}
+			scale(scratch, 2)
+		}()
+	}
+	wg.Wait()
+}
+
+// shardedStore writes accs[w] where w is the goroutine's own argument
+// — the per-worker reduction pattern the simulator uses.
+func shardedStore(workers, n int) [][]float64 {
+	accs := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]float64, n)
+			for i := range local {
+				local[i] = float64(w)
+			}
+			accs[w] = local
+		}(w)
+	}
+	wg.Wait()
+	return accs
+}
+
+// readShared reads a shared input from every goroutine; reads alone
+// never alias.
+func readShared(in *field, workers int) []float64 {
+	sums := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var s float64
+			for _, v := range in.data {
+				s += v
+			}
+			sums[w] = s
+		}(w)
+	}
+	wg.Wait()
+	return sums
+}

@@ -1,0 +1,30 @@
+// Known-bad fixture for the errcheck-lite analyzer: silently discarded
+// error returns.
+package fixture
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+func work() error { return errors.New("boom") }
+
+func multi() (int, error) { return 0, errors.New("boom") }
+
+func dropPlain() {
+	work() // want "discards its error"
+}
+
+func dropTuple() {
+	multi() // want "discards its error"
+}
+
+func dropClose(f *os.File) {
+	f.Close() // want "discards its error"
+}
+
+func dropFprintf(w io.Writer) {
+	// An arbitrary writer is not an excused destination.
+	io.WriteString(w, "data") // want "discards its error"
+}

@@ -1,0 +1,41 @@
+// Known-good fixture for the errcheck-lite analyzer: handled errors,
+// explicit discards, deferred closes, and the excused
+// cannot-usefully-fail set.
+package fixture
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail() // explicit, reviewable discard
+	return nil
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // deferred-Close idiom is excused
+}
+
+func excused(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.WriteString("ok") // bytes.Buffer never fails
+	var sb strings.Builder
+	sb.WriteString("ok")             // strings.Builder never fails
+	fmt.Println(buf.String())        // stdout printing
+	fmt.Fprintf(os.Stderr, "note\n") // std stream printing
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "payload %s\n", sb.String()) // sticky bufio error...
+	bw.WriteByte('\n')                           // ...also sticky...
+	return bw.Flush()                            // ...surfaces at the mandatory Flush
+}

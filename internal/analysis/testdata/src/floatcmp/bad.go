@@ -1,0 +1,17 @@
+// Known-bad fixture for the floatcmp analyzer: exact equality on
+// computed floating-point values.
+package fixture
+
+func cmpBad(a, b float64, xs []float64) bool {
+	if a == b { // want "== on float operands"
+		return true
+	}
+	if a+1 != b { // want "!= on float operands"
+		return false
+	}
+	return xs[0]*2 == 4.0 // want "== on float operands"
+}
+
+func lenBad(norm func() float64) bool {
+	return norm() == 0 // want "== on float operands"
+}

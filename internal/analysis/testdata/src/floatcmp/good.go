@@ -1,0 +1,36 @@
+// Known-good fixture for the floatcmp analyzer: sentinel tests,
+// constant folding, epsilon helpers and explicit allows.
+package fixture
+
+import "math"
+
+type config struct{ Dose float64 }
+
+const half = 0.5
+
+func cmpGood(a, b float64, c config, xs []float64) bool {
+	if c.Dose == 0 { // sentinel test of a stored field
+		return false
+	}
+	if a == 0 { // sentinel test of a stored variable
+		return false
+	}
+	if xs[1] != 0 { // sentinel test of a stored element
+		return false
+	}
+	if half == 0.5 { // both sides constant-folded
+		return true
+	}
+	return ApproxEq(a, b, 1e-9)
+}
+
+// ApproxEq is an approved epsilon helper: exact comparison against the
+// bound is its job.
+func ApproxEq(a, b, tol float64) bool {
+	return a == b || math.Abs(a-b) <= tol
+}
+
+func allowed(a, b float64) bool {
+	//cardopc:allow floatcmp fixture demonstrates the inline directive
+	return a*2 == b
+}

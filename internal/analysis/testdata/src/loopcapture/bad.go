@@ -1,0 +1,32 @@
+// Known-bad fixture for the loopcapture analyzer: goroutines and
+// defers capturing loop variables, and unsynchronised appends to
+// shared slices.
+package fixture
+
+import "sync"
+
+func fanoutBad(n int) []int {
+	var wg sync.WaitGroup
+	var shared []int
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i * i               // want "go literal captures loop variable i"
+			shared = append(shared, i)   // want "append to shared"
+		}()
+	}
+	wg.Wait()
+	return append(out, shared...)
+}
+
+func deferBad(xs []int) {
+	sink := 0
+	for _, x := range xs {
+		defer func() {
+			sink += x // want "defer literal captures loop variable x"
+		}()
+	}
+	_ = sink
+}

@@ -1,0 +1,51 @@
+// Known-good fixture for the loopcapture analyzer: loop variables
+// passed as arguments, per-worker result slots, and mutex-protected
+// appends.
+package fixture
+
+import "sync"
+
+func fanoutGood(n int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // argument, not capture
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func appendLocked(n int) []int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var shared []int
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			shared = append(shared, i) // guarded by mu
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return shared
+}
+
+// captureOutsideLoop is fine: the captured variable is not a loop
+// variable and the append happens in this goroutine only after Wait.
+func captureOutsideLoop(x int) int {
+	var wg sync.WaitGroup
+	total := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total = x * 2
+	}()
+	wg.Wait()
+	return total
+}

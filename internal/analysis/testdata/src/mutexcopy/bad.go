@@ -1,0 +1,40 @@
+// Known-bad fixture for the mutexcopy analyzer: by-value movement of
+// lock-holding structs.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// nested embeds a lock two levels down; the walk must find it.
+type nested struct {
+	inner counter
+}
+
+func byValueParam(c counter) int { // want "parameter passes"
+	return c.n
+}
+
+func (c counter) valueReceiver() int { // want "receiver passes"
+	return c.n
+}
+
+func deepParam(v nested) int { // want "parameter passes"
+	return v.inner.n
+}
+
+func snapshot(c *counter) int {
+	cp := *c // want "assignment copies"
+	return cp.n
+}
+
+func sumAll(cs []counter) int {
+	t := 0
+	for _, c := range cs { // want "range value copies"
+		t += c.n
+	}
+	return t
+}

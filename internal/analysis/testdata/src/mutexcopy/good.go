@@ -1,0 +1,44 @@
+// Known-good fixture for the mutexcopy analyzer: pointers everywhere a
+// lock travels, composite-literal initialisation, and by-index
+// iteration.
+package fixture
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byPointer(g *gauge) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func (g *gauge) pointerReceiver() int {
+	return g.n
+}
+
+// newGauge returns a fresh value: composite-literal initialisation is
+// not a copy.
+func newGauge() *gauge {
+	g := gauge{n: 1}
+	return &g
+}
+
+func sumByIndex(gs []*gauge) int {
+	t := 0
+	for i := range gs {
+		t += gs[i].n
+	}
+	return t
+}
+
+// lockFree structs copy freely.
+type lockFree struct{ a, b float64 }
+
+func copyLockFree(v lockFree) lockFree {
+	w := v
+	return w
+}

@@ -1,0 +1,23 @@
+// Known-bad fixture for the nanguard analyzer: domain-limited math
+// results reaching accumulators and indexes unguarded. The package is
+// named litho because nanguard scopes itself to the numeric kernels.
+package litho
+
+import "math"
+
+func accumulateBad(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += math.Sqrt(x) // want "used in an accumulation"
+	}
+	return sum
+}
+
+func indexBad(table []float64, x float64) float64 {
+	return table[int(math.Log(x))] // want "used as an index"
+}
+
+func trackedBad(table []float64, dot float64) float64 {
+	angle := math.Acos(dot) // want "assigned here"
+	return table[int(angle*10)]
+}

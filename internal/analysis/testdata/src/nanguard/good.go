@@ -1,0 +1,37 @@
+// Known-good fixture for the nanguard analyzer: guarded values,
+// clamped Safe* wrappers, and risky results that never reach an index
+// or accumulator.
+package litho
+
+import "math"
+
+func accumulateGuarded(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		s := math.Sqrt(x)
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			continue
+		}
+		sum += s
+	}
+	return sum
+}
+
+func indexClamped(table []float64, x float64) float64 {
+	return table[int(SafeSqrt(x))]
+}
+
+// plainUse returns a risky result without indexing or accumulating —
+// the caller owns the guard, so no diagnostic here.
+func plainUse(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+// SafeSqrt is an approved clamped wrapper; the Sqrt inside it is the
+// wrapper's own business.
+func SafeSqrt(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

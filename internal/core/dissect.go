@@ -127,6 +127,7 @@ func BuildControlPoints(poly geom.Polygon, cfg Config) []CtrlPoint {
 	basis := spline.NewBasis(cfg.Tension)
 	for ei := 0; ei < n; ei++ {
 		e := poly.Edge(ei)
+		//cardopc:allow floatcmp exact zero means coincident endpoints; an epsilon would drop tiny real edges
 		if e.Len() == 0 {
 			continue
 		}

@@ -12,6 +12,7 @@
 package exp
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"time"
@@ -69,12 +70,14 @@ type Table struct {
 	Notes []string
 }
 
-// Fprint renders the table as text.
-func (t *Table) Fprint(w io.Writer) {
-	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
-	fmt.Fprintf(w, "%-12s %-14s %12s %14s %10s %12s\n", "testcase", "method", "EPE", "PVB(nm2)", "L2(px)", "runtime")
+// Fprint renders the table as text. Writes are buffered; the first
+// write error is returned.
+func (t *Table) Fprint(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(bw, "%-12s %-14s %12s %14s %10s %12s\n", "testcase", "method", "EPE", "PVB(nm2)", "L2(px)", "runtime")
 	for _, r := range t.Rows {
-		fmt.Fprintf(w, "%-12s %-14s %12.2f %14.4g %10.0f %12s\n",
+		fmt.Fprintf(bw, "%-12s %-14s %12.2f %14.4g %10.0f %12s\n",
 			r.Testcase, r.Method, r.EPE, r.PVB, r.L2, r.Runtime.Round(time.Millisecond))
 	}
 	// Per-method averages, in first-appearance order.
@@ -89,12 +92,13 @@ func (t *Table) Fprint(w io.Writer) {
 	avg := t.Summary()
 	for _, m := range order {
 		r := avg[m]
-		fmt.Fprintf(w, "%-12s %-14s %12.2f %14.4g %10.0f %12s\n",
+		fmt.Fprintf(bw, "%-12s %-14s %12.2f %14.4g %10.0f %12s\n",
 			"average", m, r.EPE, r.PVB, r.L2, r.Runtime.Round(time.Millisecond))
 	}
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "  note: %s\n", n)
+		fmt.Fprintf(bw, "  note: %s\n", n)
 	}
+	return bw.Flush()
 }
 
 // Summary aggregates per-method averages.

@@ -102,6 +102,7 @@ func targetProbes(ctrl []geom.Pt, target geom.Polygon, spacing float64) []metric
 	var measures []mp
 	for i := range target {
 		e := target.Edge(i)
+		//cardopc:allow floatcmp exact zero means coincident endpoints; an epsilon would drop tiny real edges
 		if e.Len() == 0 {
 			continue
 		}

@@ -1,0 +1,73 @@
+package geom
+
+import "math"
+
+// This file holds the sanctioned NaN-avoidance vocabulary for the
+// numeric kernels. The nanguard analyzer (internal/analysis) treats
+// these as approved sources: they clamp their domain so rounding
+// residue cannot turn into a NaN that then drifts through an EPE sum
+// or gradient accumulation.
+
+// ApproxEq reports |a-b| <= tol. It is the scalar counterpart of
+// Pt.ApproxEq and the comparison floatcmp diagnostics point to.
+func ApproxEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// IsFinite reports whether v is neither NaN nor ±Inf.
+func IsFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// SafeSqrt is math.Sqrt with negative rounding residue clamped to 0.
+// Use it when the argument is mathematically non-negative (a squared
+// norm, a discriminant) but may dip below zero in floating point.
+func SafeSqrt(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// SafeAcos is math.Acos with its argument clamped to [-1, 1], for
+// normalised dot products that land a few ulps outside the domain.
+func SafeAcos(x float64) float64 {
+	if x < -1 {
+		x = -1
+	} else if x > 1 {
+		x = 1
+	}
+	return math.Acos(x)
+}
+
+// SafeAsin is math.Asin with its argument clamped to [-1, 1].
+func SafeAsin(x float64) float64 {
+	if x < -1 {
+		x = -1
+	} else if x > 1 {
+		x = 1
+	}
+	return math.Asin(x)
+}
+
+// SafeDiv returns num/den, or fallback when the quotient would not be
+// finite (den == 0, or Inf/NaN operands).
+func SafeDiv(num, den, fallback float64) float64 {
+	if den == 0 {
+		return fallback
+	}
+	q := num / den
+	if !IsFinite(q) {
+		return fallback
+	}
+	return q
+}
+
+// SafeLog is math.Log with non-positive arguments mapped to fallback
+// instead of -Inf/NaN.
+func SafeLog(x, fallback float64) float64 {
+	if x <= 0 {
+		return fallback
+	}
+	return math.Log(x)
+}

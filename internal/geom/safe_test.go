@@ -1,0 +1,73 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqScalar(t *testing.T) {
+	if !ApproxEq(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("values within tol should compare equal")
+	}
+	if ApproxEq(1.0, 1.1, 1e-9) {
+		t.Error("values outside tol should not compare equal")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	for _, v := range []float64{0, 1, -1e300, math.SmallestNonzeroFloat64} {
+		if !IsFinite(v) {
+			t.Errorf("IsFinite(%v) = false", v)
+		}
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if IsFinite(v) {
+			t.Errorf("IsFinite(%v) = true", v)
+		}
+	}
+}
+
+func TestSafeSqrt(t *testing.T) {
+	if got := SafeSqrt(4); got != 2 {
+		t.Errorf("SafeSqrt(4) = %v", got)
+	}
+	if got := SafeSqrt(-1e-18); got != 0 {
+		t.Errorf("SafeSqrt(-1e-18) = %v, want clamped 0", got)
+	}
+}
+
+func TestSafeAcosAsinClamp(t *testing.T) {
+	if got := SafeAcos(1 + 1e-15); got != 0 {
+		t.Errorf("SafeAcos(1+eps) = %v, want 0", got)
+	}
+	if got := SafeAcos(-1 - 1e-15); !ApproxEq(got, math.Pi, 1e-12) {
+		t.Errorf("SafeAcos(-1-eps) = %v, want pi", got)
+	}
+	if got := SafeAsin(1 + 1e-15); !ApproxEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("SafeAsin(1+eps) = %v, want pi/2", got)
+	}
+}
+
+func TestSafeDiv(t *testing.T) {
+	if got := SafeDiv(6, 3, -1); got != 2 {
+		t.Errorf("SafeDiv(6,3) = %v", got)
+	}
+	if got := SafeDiv(1, 0, -1); got != -1 {
+		t.Errorf("SafeDiv(1,0) = %v, want fallback", got)
+	}
+	if got := SafeDiv(math.Inf(1), 2, -1); got != -1 {
+		t.Errorf("SafeDiv(Inf,2) = %v, want fallback", got)
+	}
+}
+
+func TestSafeLog(t *testing.T) {
+	if got := SafeLog(math.E, -1); !ApproxEq(got, 1, 1e-12) {
+		t.Errorf("SafeLog(e) = %v", got)
+	}
+	if got := SafeLog(0, -99); got != -99 {
+		t.Errorf("SafeLog(0) = %v, want fallback", got)
+	}
+	if got := SafeLog(-3, -99); got != -99 {
+		t.Errorf("SafeLog(-3) = %v, want fallback", got)
+	}
+}

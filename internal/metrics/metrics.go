@@ -104,6 +104,7 @@ func crossing(aerial *raster.Field, pr Probe, ith float64, steps int, dt float64
 		if (prev >= ith) != (cur >= ith) {
 			// Linear refinement between s-dt and s.
 			t := 0.5
+			//cardopc:allow floatcmp exact guard against 0/0 in the linear refinement
 			if cur != prev {
 				t = (ith - prev) / (cur - prev)
 			}

@@ -119,6 +119,7 @@ func crossingDistance(aerial *raster.Field, from, dir geom.Pt, th, searchNM floa
 		cur := aerial.Bilinear(from.Add(dir.Mul(s)))
 		if prev >= th && cur < th {
 			t := 0.5
+			//cardopc:allow floatcmp exact guard against 0/0 in the linear refinement
 			if cur != prev {
 				t = (th - prev) / (cur - prev)
 			}

@@ -218,6 +218,7 @@ func MarchingSquares(f *Field, th float64) []geom.Polygon {
 		va := f.At(xa, ya)
 		vb := f.At(xb, yb)
 		t := 0.5
+		//cardopc:allow floatcmp exact guard against 0/0 in the crossing interpolation
 		if vb != va {
 			t = (th - va) / (vb - va)
 		}

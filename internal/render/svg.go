@@ -96,7 +96,7 @@ func (c *Canvas) WriteFile(path string) error {
 		return err
 	}
 	if err := c.Write(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
