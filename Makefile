@@ -3,7 +3,15 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench
+# Every bench target pins GOMAXPROCS via -cpu so numbers stay comparable
+# across laptops and CI runners; the value is recorded in the baseline's
+# environment fingerprint.
+BENCH_CPU ?= 4
+# Samples per benchmark for the tracked-set targets; medians over
+# BENCH_COUNT runs are what benchdiff compares (>= 3 for a useful median).
+BENCH_COUNT ?= 5
+
+.PHONY: all build test vet race bench bench-record bench-check
 
 all: build vet test
 
@@ -28,7 +36,19 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Paper-artefact benches at reduced settings; CARDOPC_FULL=1 for
-# paper-fidelity runs.
+# Every benchmark in the module at reduced settings: the paper-artefact
+# harness at the root plus the per-package micro-benches (fft, litho,
+# raster, rtree, spline, mrc). CARDOPC_FULL=1 for paper-fidelity runs.
 bench:
-	$(GO) test -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x -cpu $(BENCH_CPU) ./...
+
+# Re-record BENCH_BASELINE.json from the tracked hot-path set. Run this
+# deliberately — on the reference machine, after an intentional perf
+# change — and commit the result.
+bench-record:
+	$(GO) run ./cmd/benchdiff record -count $(BENCH_COUNT) -cpu $(BENCH_CPU)
+
+# Compare a fresh tracked-set run against BENCH_BASELINE.json; non-zero
+# exit on a regression beyond tolerance. Same gate CI's bench job runs.
+bench-check:
+	$(GO) run ./cmd/benchdiff check -count $(BENCH_COUNT) -cpu $(BENCH_CPU)

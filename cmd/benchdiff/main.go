@@ -1,0 +1,306 @@
+// Command benchdiff records and gates the repo's tracked hot-path
+// benchmarks against the committed baseline (BENCH_BASELINE.json).
+//
+// Subcommands:
+//
+//	benchdiff record [flags]   run the tracked set (or ingest -input) and
+//	                           write the baseline
+//	benchdiff check  [flags]   run the tracked set (or ingest -input),
+//	                           compare against the baseline, print the
+//	                           report; exit 0 ok / 1 regression / 2 error
+//	benchdiff report [flags]   like check but never gates: renders text
+//	                           (default), -json, or -md and exits 0
+//
+// Shared flags: -baseline, -input (pre-captured `go test -bench` output,
+// "-" for stdin), -count, -benchtime, -cpu, -bench-out (tee the raw
+// stream to a file). check adds -tolerance ("0.25" for ns/op, or
+// "ns/op=0.25,allocs/op=0.05"), -update (refresh the baseline and exit
+// 0), -fail-vanished, -json-out and -md-out.
+//
+// See DESIGN.md "Performance tracking" for tolerance semantics and the
+// CI wiring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"cardopc/internal/analysis"
+	"cardopc/internal/perf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	switch args[0] {
+	case "record":
+		return cmdRecord(args[1:])
+	case "check":
+		return cmdCheck(args[1:], true)
+	case "report":
+		return cmdCheck(args[1:], false)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown subcommand %q\n", args[0])
+		usage()
+		return 2
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: benchdiff <record|check|report> [flags]
+
+record   run the tracked benchmark set and write the baseline
+check    compare a run against the baseline; exit 1 on regression
+report   render the comparison (text, -json, -md) without gating
+
+Run 'benchdiff <subcommand> -h' for flags.
+`)
+}
+
+// commonFlags are shared by every subcommand.
+type commonFlags struct {
+	baseline  string
+	input     string
+	benchOut  string
+	count     int
+	benchtime string
+	cpu       int
+}
+
+func addCommon(fs *flag.FlagSet, c *commonFlags) {
+	def := perf.DefaultRunOptions()
+	fs.StringVar(&c.baseline, "baseline", perf.DefaultBaselineName, "baseline file (relative paths resolve against the module root)")
+	fs.StringVar(&c.input, "input", "", "ingest pre-captured `go test -bench` output from this file ('-' = stdin) instead of running")
+	fs.StringVar(&c.benchOut, "bench-out", "", "tee the raw bench stream to this file")
+	fs.IntVar(&c.count, "count", def.Count, "samples per benchmark (-count)")
+	fs.StringVar(&c.benchtime, "benchtime", def.Benchtime, "per-sample budget (-benchtime)")
+	fs.IntVar(&c.cpu, "cpu", def.CPU, "pinned GOMAXPROCS (-cpu) for stable numbers")
+}
+
+// gather produces parsed samples: either by running the tracked set from
+// the module root or by ingesting -input.
+func gather(c *commonFlags, root string) (*perf.ParseResult, error) {
+	var raw []byte
+	switch {
+	case c.input == "-":
+		var err error
+		raw, err = io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, fmt.Errorf("reading stdin: %w", err)
+		}
+	case c.input != "":
+		var err error
+		raw, err = os.ReadFile(c.input)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		opt := perf.RunOptions{
+			Count:     c.count,
+			Benchtime: c.benchtime,
+			CPU:       c.cpu,
+			Dir:       root,
+			Log:       os.Stderr, // live progress; stdout stays report-only
+		}
+		var err error
+		raw, err = perf.RunTracked(perf.TrackedSet(), opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c.benchOut != "" {
+		if err := os.WriteFile(resolve(root, c.benchOut), raw, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	res, err := perf.Parse(strings.NewReader(string(raw)))
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Names) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found (input %q)", c.input)
+	}
+	return res, nil
+}
+
+// resolve anchors relative paths at the module root so benchdiff behaves
+// the same from any working directory.
+func resolve(root, path string) string {
+	if path == "" || filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(root, path)
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	return 2
+}
+
+func cmdRecord(args []string) int {
+	fs := flag.NewFlagSet("benchdiff record", flag.ExitOnError)
+	var c commonFlags
+	addCommon(fs, &c)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		return fail(err)
+	}
+	res, err := gather(&c, root)
+	if err != nil {
+		return fail(err)
+	}
+	base := perf.NewBaseline(perf.CurrentEnv(), res)
+	path := resolve(root, c.baseline)
+	if err := base.Save(path); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("benchdiff: recorded %d benchmarks to %s (%s)\n",
+		len(base.Benchmarks), path, base.Env)
+	return 0
+}
+
+func cmdCheck(args []string, gate bool) int {
+	name := "benchdiff check"
+	if !gate {
+		name = "benchdiff report"
+	}
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	var c commonFlags
+	addCommon(fs, &c)
+	tolSpec := fs.String("tolerance", "", "override tolerances: a bare fraction for ns/op (e.g. 0.25) or unit=frac pairs (ns/op=0.25,allocs/op=0.05)")
+	jsonOut := fs.String("json-out", "", "also write the comparison as JSON to this file")
+	mdOut := fs.String("md-out", "", "also write the comparison as markdown to this file")
+	var update, failVanished, asJSON, asMD bool
+	if gate {
+		fs.BoolVar(&update, "update", false, "refresh the baseline with this run's medians and exit 0")
+		fs.BoolVar(&failVanished, "fail-vanished", true, "treat baseline benchmarks missing from the run as failures")
+	} else {
+		fs.BoolVar(&asJSON, "json", false, "render JSON instead of text")
+		fs.BoolVar(&asMD, "md", false, "render markdown instead of text")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tol, err := parseTolerances(*tolSpec)
+	if err != nil {
+		return fail(err)
+	}
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		return fail(err)
+	}
+	res, err := gather(&c, root)
+	if err != nil {
+		return fail(err)
+	}
+	basePath := resolve(root, c.baseline)
+	base, err := perf.LoadBaseline(basePath)
+	if err != nil {
+		return fail(err)
+	}
+	cmp := perf.Compare(res, base, perf.Options{Tolerances: tol})
+
+	if *jsonOut != "" {
+		if err := writeWith(resolve(root, *jsonOut), cmp.WriteJSON); err != nil {
+			return fail(err)
+		}
+	}
+	if *mdOut != "" {
+		if err := writeWith(resolve(root, *mdOut), cmp.WriteMarkdown); err != nil {
+			return fail(err)
+		}
+	}
+
+	var render func(io.Writer) error
+	switch {
+	case asJSON:
+		render = cmp.WriteJSON
+	case asMD:
+		render = cmp.WriteMarkdown
+	default:
+		render = cmp.WriteText
+	}
+	if err := render(os.Stdout); err != nil {
+		return fail(err)
+	}
+
+	if !gate {
+		return 0
+	}
+	if update {
+		base = perf.NewBaseline(perf.CurrentEnv(), res)
+		if err := base.Save(basePath); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("benchdiff: baseline %s refreshed (%d benchmarks)\n", basePath, len(base.Benchmarks))
+		return 0
+	}
+	if n := len(cmp.Regressions()); n > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond tolerance\n", n)
+		return 1
+	}
+	if gone := cmp.Vanished(); failVanished && len(gone) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d baseline benchmark(s) vanished from the run (re-record or pass -fail-vanished=false)\n", len(gone))
+		return 1
+	}
+	return 0
+}
+
+// writeWith streams a renderer into path.
+func writeWith(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		_ = f.Close() // the render error is the interesting one
+		return err
+	}
+	return f.Close()
+}
+
+// parseTolerances interprets -tolerance: empty means defaults, a bare
+// fraction overrides ns/op only, and unit=frac pairs override per unit
+// on top of the defaults.
+func parseTolerances(spec string) (perf.Tolerances, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	tol := perf.DefaultTolerances()
+	if v, err := strconv.ParseFloat(spec, 64); err == nil {
+		if v < 0 {
+			return nil, fmt.Errorf("tolerance %q is negative", spec)
+		}
+		tol["ns/op"] = v
+		return tol, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		unit, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad tolerance %q: want unit=fraction", part)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad tolerance value %q for %s", val, unit)
+		}
+		tol[unit] = v
+	}
+	return tol, nil
+}

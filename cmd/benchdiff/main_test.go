@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// absFixture returns the absolute path of a testdata fixture, so the
+// subcommands' module-root anchoring cannot misresolve it.
+func absFixture(t *testing.T, name string) string {
+	t.Helper()
+	p, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// recordBaseline records testdata/base_run.txt into a temp baseline and
+// returns its path.
+func recordBaseline(t *testing.T) string {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if code := run([]string{"record", "-input", absFixture(t, "base_run.txt"), "-baseline", base}); code != 0 {
+		t.Fatalf("record exit = %d, want 0", code)
+	}
+	if _, err := os.Stat(base); err != nil {
+		t.Fatalf("record wrote no baseline: %v", err)
+	}
+	return base
+}
+
+func TestCheckCleanRunExitsZero(t *testing.T) {
+	base := recordBaseline(t)
+	code := run([]string{"check", "-input", absFixture(t, "base_run.txt"), "-baseline", base})
+	if code != 0 {
+		t.Fatalf("check exit = %d, want 0 for an unchanged run", code)
+	}
+}
+
+// TestCheckDoubledTimeExitsNonZero is the acceptance-criterion test: a
+// 2× ns/op slowdown must yield a non-zero exit and name the offending
+// benchmark in the JSON report.
+func TestCheckDoubledTimeExitsNonZero(t *testing.T) {
+	base := recordBaseline(t)
+	report := filepath.Join(t.TempDir(), "report.json")
+	code := run([]string{
+		"check",
+		"-input", absFixture(t, "slow_run.txt"),
+		"-baseline", base,
+		"-json-out", report,
+	})
+	if code != 1 {
+		t.Fatalf("check exit = %d, want 1 for a 2x regression", code)
+	}
+
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmp struct {
+		Results []struct {
+			Name  string `json:"name"`
+			Class string `json:"class"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &cmp); err != nil {
+		t.Fatalf("json report does not parse: %v", err)
+	}
+	classes := map[string]string{}
+	for _, r := range cmp.Results {
+		classes[r.Name] = r.Class
+	}
+	if classes["cardopc/internal/fft.BenchmarkForward1024"] != "regressed" {
+		t.Errorf("report classes = %v, want Forward1024 regressed", classes)
+	}
+	if classes["cardopc/internal/rtree.BenchmarkSearch1000"] != "ok" {
+		t.Errorf("report classes = %v, want Search1000 ok", classes)
+	}
+}
+
+func TestCheckUpdateRefreshesBaseline(t *testing.T) {
+	base := recordBaseline(t)
+	code := run([]string{"check", "-input", absFixture(t, "slow_run.txt"), "-baseline", base, "-update"})
+	if code != 0 {
+		t.Fatalf("check -update exit = %d, want 0", code)
+	}
+	// The refreshed baseline now matches the slow run exactly.
+	code = run([]string{"check", "-input", absFixture(t, "slow_run.txt"), "-baseline", base})
+	if code != 0 {
+		t.Fatalf("check after -update exit = %d, want 0", code)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "47044") {
+		t.Errorf("baseline not refreshed with slow-run median:\n%s", data)
+	}
+}
+
+func TestCheckVanishedGates(t *testing.T) {
+	base := recordBaseline(t)
+	// A run covering only one of the two recorded benchmarks.
+	partial := filepath.Join(t.TempDir(), "partial.txt")
+	content := `pkg: cardopc/internal/fft
+BenchmarkForward1024-4    	      10	     23000 ns/op	       0 B/op	       0 allocs/op
+`
+	if err := os.WriteFile(partial, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"check", "-input", partial, "-baseline", base}); code != 1 {
+		t.Errorf("check with vanished benchmark exit = %d, want 1", code)
+	}
+	if code := run([]string{"check", "-input", partial, "-baseline", base, "-fail-vanished=false"}); code != 0 {
+		t.Errorf("check -fail-vanished=false exit = %d, want 0", code)
+	}
+}
+
+func TestCheckMissingBaselineExitsTwo(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	code := run([]string{"check", "-input", absFixture(t, "base_run.txt"), "-baseline", missing})
+	if code != 2 {
+		t.Fatalf("check without baseline exit = %d, want 2", code)
+	}
+}
+
+func TestReportNeverGates(t *testing.T) {
+	base := recordBaseline(t)
+	md := filepath.Join(t.TempDir(), "report.md")
+	code := run([]string{"report", "-input", absFixture(t, "slow_run.txt"), "-baseline", base, "-md", "-md-out", md})
+	if code != 0 {
+		t.Fatalf("report exit = %d, want 0 even with regressions", code)
+	}
+	data, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "**REGRESSED**") {
+		t.Errorf("markdown report missing verdict:\n%s", data)
+	}
+}
+
+func TestUnknownSubcommandExitsTwo(t *testing.T) {
+	if code := run([]string{"frobnicate"}); code != 2 {
+		t.Errorf("unknown subcommand exit = %d, want 2", code)
+	}
+	if code := run(nil); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+}
+
+func TestToleranceSpecParsing(t *testing.T) {
+	if _, err := parseTolerances(""); err != nil {
+		t.Errorf("empty spec: %v", err)
+	}
+	tol, err := parseTolerances("0.25")
+	if err != nil || tol["ns/op"] != 0.25 {
+		t.Errorf("bare spec: tol=%v err=%v", tol, err)
+	}
+	tol, err = parseTolerances("ns/op=0.5,allocs/op=0")
+	if err != nil || tol["ns/op"] != 0.5 || tol["allocs/op"] != 0 {
+		t.Errorf("pair spec: tol=%v err=%v", tol, err)
+	}
+	for _, bad := range []string{"-0.3", "ns/op", "ns/op=x"} {
+		if _, err := parseTolerances(bad); err == nil {
+			t.Errorf("parseTolerances(%q) accepted bad spec", bad)
+		}
+	}
+}

@@ -213,3 +213,22 @@ func BenchmarkAerial256(b *testing.B) {
 		s.Aerial(mask)
 	}
 }
+
+// BenchmarkGradient256 measures the adjoint gradient evaluation — the
+// other half of every OPC/ILT iteration next to BenchmarkAerial256, and
+// part of the tracked set gated by cmd/benchdiff.
+func BenchmarkGradient256(b *testing.B) {
+	s := NewSimulator(testConfig())
+	mask := maskWithRect(s.Grid(), geom.Rect{Min: geom.P(874, 874), Max: geom.P(1174, 1174)})
+	aerial, cache := s.AerialWithCache(mask)
+	// A quadratic-loss gradient against a mid-intensity target keeps G
+	// deterministic and representative of the optimizer's input.
+	G := make([]float64, len(aerial.Data))
+	for i, v := range aerial.Data {
+		G[i] = 2 * (v - 0.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.GradientFromCache(cache, G)
+	}
+}

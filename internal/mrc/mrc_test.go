@@ -200,3 +200,22 @@ func TestCountEmpty(t *testing.T) {
 		t.Errorf("Count(nil) = %d entries", n)
 	}
 }
+
+// BenchmarkResolveSpacing exercises the full check→resolve sweep on a
+// mask with a spacing violation. The mask is rebuilt every iteration
+// because Resolve mutates control points in place; construction is a
+// small, constant share of the measured work. Part of the tracked set
+// gated by cmd/benchdiff.
+func BenchmarkResolveSpacing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := maskOf(
+			loopShape(geom.Rect{Min: geom.P(100, 100), Max: geom.P(200, 200)}, 30),
+			loopShape(geom.Rect{Min: geom.P(220, 100), Max: geom.P(320, 200)}, 30),
+		)
+		c := NewChecker(m, DefaultRules())
+		res := c.Resolve(DefaultResolveOptions())
+		if res.After > res.Before {
+			b.Fatalf("resolve made the mask worse: %d -> %d violations", res.Before, res.After)
+		}
+	}
+}

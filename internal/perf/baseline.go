@@ -1,0 +1,100 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// DefaultBaselineName is the baseline file committed at the module root.
+const DefaultBaselineName = "BENCH_BASELINE.json"
+
+// BaselineEntry is the recorded median of one benchmark.
+type BaselineEntry struct {
+	// Metrics maps unit → median value over the recorded samples.
+	Metrics map[string]float64 `json:"metrics"`
+	// Samples is how many -count samples the medians were taken over.
+	Samples int `json:"samples"`
+	// Procs is the GOMAXPROCS the benchmark ran under.
+	Procs int `json:"procs"`
+}
+
+// Baseline is the committed performance reference (BENCH_BASELINE.json).
+type Baseline struct {
+	// Version guards the schema; bump on incompatible changes.
+	Version int `json:"version"`
+	// Env fingerprints the machine the baseline was recorded on.
+	Env Env `json:"env"`
+	// Benchmarks maps qualified names to recorded medians.
+	Benchmarks map[string]BaselineEntry `json:"benchmarks"`
+}
+
+// BaselineVersion is the current schema version.
+const BaselineVersion = 1
+
+// NewBaseline folds parsed samples into a baseline recorded under env.
+func NewBaseline(env Env, res *ParseResult) *Baseline {
+	b := &Baseline{
+		Version:    BaselineVersion,
+		Env:        env,
+		Benchmarks: make(map[string]BaselineEntry, len(res.Samples)),
+	}
+	for name, samples := range res.Samples {
+		procs := 1
+		if len(samples) > 0 {
+			procs = samples[0].Procs
+		}
+		b.Benchmarks[name] = BaselineEntry{
+			Metrics: MedianMetrics(samples),
+			Samples: len(samples),
+			Procs:   procs,
+		}
+	}
+	return b
+}
+
+// Names returns the baseline's benchmark names, sorted for stable output.
+func (b *Baseline) Names() []string {
+	names := make([]string, 0, len(b.Benchmarks))
+	for n := range b.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("perf: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("perf: baseline %s has schema version %d, want %d (re-record with `benchdiff record`)",
+			path, b.Version, BaselineVersion)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("perf: baseline %s records no benchmarks", path)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline as stable, human-diffable JSON (sorted keys,
+// two-space indent, trailing newline) so re-recording produces minimal
+// git churn.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: encoding baseline: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("perf: writing baseline: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package perf
+
+import "sort"
+
+// Class classifies one benchmark (or one metric) against the baseline.
+type Class int
+
+const (
+	// OK: every shared metric is within tolerance.
+	OK Class = iota
+	// Improved: at least one metric beat its tolerance and none regressed.
+	Improved
+	// Regressed: at least one metric exceeded its tolerance.
+	Regressed
+	// New: the benchmark has no baseline entry.
+	New
+	// Vanished: the baseline entry was not exercised by this run.
+	Vanished
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case OK:
+		return "ok"
+	case Improved:
+		return "improved"
+	case Regressed:
+		return "regressed"
+	case New:
+		return "new"
+	case Vanished:
+		return "vanished"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalText makes Class render as its name in JSON reports.
+func (c Class) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// Tolerances maps a metric unit to its allowed relative regression
+// (0.30 = the new median may be up to 30% worse before gating). All
+// metrics are smaller-is-better; that holds for the standard units and
+// for every custom unit this repo reports (pts/op, violations).
+type Tolerances map[string]float64
+
+// DefaultTolerances reflects observed jitter of the tracked set under
+// -count=5: wall time is the noisiest, allocation counts are nearly
+// deterministic. Unlisted custom units fall back to DefaultTolerance.
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		"ns/op":     0.30,
+		"B/op":      0.15,
+		"allocs/op": 0.10,
+	}
+}
+
+// DefaultTolerance applies to units without an explicit entry.
+const DefaultTolerance = 0.30
+
+// For returns the tolerance for unit.
+func (t Tolerances) For(unit string) float64 {
+	if v, ok := t[unit]; ok {
+		return v
+	}
+	return DefaultTolerance
+}
+
+// Options tunes Compare.
+type Options struct {
+	// Tolerances gives per-unit relative slack; nil means defaults.
+	Tolerances Tolerances
+	// NoiseFactor widens the ns/op tolerance when the run's environment
+	// fingerprint does not match the baseline's (different machine ⇒
+	// absolute times shift wholesale). 0 means DefaultNoiseFactor; 1
+	// disables widening.
+	NoiseFactor float64
+	// Env fingerprints the current run; zero value means CurrentEnv().
+	Env Env
+}
+
+// DefaultNoiseFactor is the cross-machine widening applied to ns/op.
+const DefaultNoiseFactor = 3
+
+// MetricDelta is the comparison of one metric of one benchmark.
+type MetricDelta struct {
+	Unit string  `json:"unit"`
+	Old  float64 `json:"old"`
+	New  float64 `json:"new"`
+	// Delta is (New-Old)/Old; +0.42 means 42% worse. When Old is zero
+	// and New is not, Delta is reported as +1 and the metric regresses.
+	Delta float64 `json:"delta"`
+	// Tol is the tolerance the delta was judged against (after any
+	// cross-machine widening).
+	Tol   float64 `json:"tol"`
+	Class Class   `json:"class"`
+}
+
+// BenchResult is the classified comparison of one benchmark.
+type BenchResult struct {
+	Name    string `json:"name"`
+	Class   Class  `json:"class"`
+	Samples int    `json:"samples"`
+	// Metrics holds per-unit deltas for benchmarks present on both
+	// sides, sorted with ns/op first, then alphabetically.
+	Metrics []MetricDelta `json:"metrics,omitempty"`
+}
+
+// Comparison is the full result of one check run.
+type Comparison struct {
+	Env         Env     `json:"env"`
+	BaselineEnv Env     `json:"baseline_env"`
+	EnvMatch    bool    `json:"env_match"`
+	NoiseFactor float64 `json:"noise_factor"`
+	// Results lists run benchmarks in run order, then vanished baseline
+	// entries in name order.
+	Results []BenchResult  `json:"results"`
+	Counts  map[string]int `json:"counts"`
+}
+
+// Regressions returns the regressed results.
+func (c *Comparison) Regressions() []BenchResult {
+	var out []BenchResult
+	for _, r := range c.Results {
+		if r.Class == Regressed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Vanished returns the vanished results.
+func (c *Comparison) Vanished() []BenchResult {
+	var out []BenchResult
+	for _, r := range c.Results {
+		if r.Class == Vanished {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Compare classifies the parsed run against the baseline. Medians over
+// the run's -count samples are compared per metric; only units present on
+// both sides are judged (a newly reported unit is informational until the
+// baseline is re-recorded).
+func Compare(res *ParseResult, base *Baseline, opt Options) *Comparison {
+	tol := opt.Tolerances
+	if tol == nil {
+		tol = DefaultTolerances()
+	}
+	env := opt.Env
+	if env == (Env{}) {
+		env = CurrentEnv()
+	}
+	noise := opt.NoiseFactor
+	if noise == 0 {
+		noise = DefaultNoiseFactor
+	}
+	cmp := &Comparison{
+		Env:         env,
+		BaselineEnv: base.Env,
+		EnvMatch:    env.Matches(base.Env),
+		NoiseFactor: noise,
+		Counts:      map[string]int{},
+	}
+	widen := 1.0
+	if !cmp.EnvMatch {
+		widen = noise
+	}
+
+	for _, name := range res.Names {
+		samples := res.Samples[name]
+		entry, inBase := base.Benchmarks[name]
+		r := BenchResult{Name: name, Samples: len(samples)}
+		if !inBase {
+			r.Class = New
+			cmp.Counts[New.String()]++
+			cmp.Results = append(cmp.Results, r)
+			continue
+		}
+		med := MedianMetrics(samples)
+		r.Metrics, r.Class = diffMetrics(entry.Metrics, med, tol, widen)
+		cmp.Counts[r.Class.String()]++
+		cmp.Results = append(cmp.Results, r)
+	}
+
+	var gone []string
+	for name := range base.Benchmarks {
+		if _, ran := res.Samples[name]; !ran {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		cmp.Results = append(cmp.Results, BenchResult{Name: name, Class: Vanished})
+		cmp.Counts[Vanished.String()]++
+	}
+	return cmp
+}
+
+// diffMetrics compares the shared units of one benchmark and folds the
+// per-metric classes into the benchmark class.
+func diffMetrics(old, new map[string]float64, tol Tolerances, widen float64) ([]MetricDelta, Class) {
+	units := make([]string, 0, len(old))
+	for u := range old {
+		if _, ok := new[u]; ok {
+			units = append(units, u)
+		}
+	}
+	sort.Slice(units, func(i, j int) bool {
+		if (units[i] == "ns/op") != (units[j] == "ns/op") {
+			return units[i] == "ns/op"
+		}
+		return units[i] < units[j]
+	})
+
+	deltas := make([]MetricDelta, 0, len(units))
+	class := OK
+	for _, u := range units {
+		d := MetricDelta{Unit: u, Old: old[u], New: new[u], Tol: tol.For(u)}
+		if u == "ns/op" {
+			d.Tol *= widen
+		}
+		switch {
+		case d.Old == 0 && d.New == 0:
+			d.Delta, d.Class = 0, OK
+		case d.Old == 0:
+			// No relative scale: treat any appearance as a full
+			// regression (e.g. 0 allocs/op growing to 1).
+			d.Delta, d.Class = 1, Regressed
+		default:
+			d.Delta = (d.New - d.Old) / d.Old
+			switch {
+			case d.Delta > d.Tol:
+				d.Class = Regressed
+			case d.Delta < -d.Tol:
+				d.Class = Improved
+			default:
+				d.Class = OK
+			}
+		}
+		switch d.Class {
+		case Regressed:
+			class = Regressed
+		case Improved:
+			if class == OK {
+				class = Improved
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, class
+}

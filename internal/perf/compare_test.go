@@ -1,0 +1,216 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// env returns a fixed fingerprint so comparator tests never consult the
+// actual machine.
+func env() Env {
+	return Env{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 4, GOMAXPROCS: 4}
+}
+
+// samplesOf builds a one-benchmark ParseResult with the given ns/op
+// samples plus fixed alloc metrics.
+func samplesOf(name string, allocs float64, nsop ...float64) *ParseResult {
+	res := &ParseResult{Samples: map[string][]Sample{}}
+	res.Names = append(res.Names, name)
+	for _, v := range nsop {
+		res.Samples[name] = append(res.Samples[name], Sample{
+			Iters:   10,
+			Procs:   4,
+			Metrics: map[string]float64{"ns/op": v, "allocs/op": allocs},
+		})
+	}
+	return res
+}
+
+// merge folds several single-benchmark results into one run.
+func merge(rs ...*ParseResult) *ParseResult {
+	out := &ParseResult{Samples: map[string][]Sample{}}
+	for _, r := range rs {
+		for _, n := range r.Names {
+			out.Names = append(out.Names, n)
+			out.Samples[n] = r.Samples[n]
+		}
+	}
+	return out
+}
+
+func resultFor(t *testing.T, c *Comparison, name string) BenchResult {
+	t.Helper()
+	for _, r := range c.Results {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("benchmark %q missing from comparison %+v", name, c.Results)
+	return BenchResult{}
+}
+
+// TestCompareDetectsDoubledTime is the gate's load-bearing test: a
+// synthetic 2× ns/op slowdown must classify as regressed and name the
+// offending benchmark.
+func TestCompareDetectsDoubledTime(t *testing.T) {
+	base := NewBaseline(env(), merge(
+		samplesOf("pkg.BenchmarkHot", 7, 1000, 1010, 990),
+		samplesOf("pkg.BenchmarkCold", 3, 500, 500, 500),
+	))
+	run := merge(
+		samplesOf("pkg.BenchmarkHot", 7, 2000, 2020, 1980), // 2× slower
+		samplesOf("pkg.BenchmarkCold", 3, 501, 499, 500),
+	)
+	cmp := Compare(run, base, Options{Env: env()})
+
+	hot := resultFor(t, cmp, "pkg.BenchmarkHot")
+	if hot.Class != Regressed {
+		t.Fatalf("2x slowdown classified %v, want regressed", hot.Class)
+	}
+	if hot.Metrics[0].Unit != "ns/op" || hot.Metrics[0].Class != Regressed {
+		t.Errorf("leading metric = %+v, want regressed ns/op", hot.Metrics[0])
+	}
+	if d := hot.Metrics[0].Delta; d < 0.9 || d > 1.1 {
+		t.Errorf("delta = %v, want ~+1.0 (i.e. +100%%)", d)
+	}
+	if cold := resultFor(t, cmp, "pkg.BenchmarkCold"); cold.Class != OK {
+		t.Errorf("unchanged benchmark classified %v, want ok", cold.Class)
+	}
+	if regs := cmp.Regressions(); len(regs) != 1 || regs[0].Name != "pkg.BenchmarkHot" {
+		t.Errorf("Regressions() = %+v, want exactly pkg.BenchmarkHot", regs)
+	}
+}
+
+func TestCompareClasses(t *testing.T) {
+	base := NewBaseline(env(), merge(
+		samplesOf("pkg.BenchmarkStays", 2, 1000),
+		samplesOf("pkg.BenchmarkFaster", 2, 1000),
+		samplesOf("pkg.BenchmarkGone", 2, 1000),
+	))
+	run := merge(
+		samplesOf("pkg.BenchmarkStays", 2, 1050),   // +5% < 30% tolerance
+		samplesOf("pkg.BenchmarkFaster", 2, 500),   // −50%
+		samplesOf("pkg.BenchmarkBrandNew", 2, 123), // no baseline entry
+	)
+	cmp := Compare(run, base, Options{Env: env()})
+
+	for name, want := range map[string]Class{
+		"pkg.BenchmarkStays":    OK,
+		"pkg.BenchmarkFaster":   Improved,
+		"pkg.BenchmarkBrandNew": New,
+		"pkg.BenchmarkGone":     Vanished,
+	} {
+		if got := resultFor(t, cmp, name).Class; got != want {
+			t.Errorf("%s classified %v, want %v", name, got, want)
+		}
+	}
+	if gone := cmp.Vanished(); len(gone) != 1 || gone[0].Name != "pkg.BenchmarkGone" {
+		t.Errorf("Vanished() = %+v, want exactly pkg.BenchmarkGone", gone)
+	}
+	want := map[string]int{"ok": 1, "improved": 1, "new": 1, "vanished": 1}
+	for k, v := range want {
+		if cmp.Counts[k] != v {
+			t.Errorf("Counts[%s] = %d, want %d", k, cmp.Counts[k], v)
+		}
+	}
+}
+
+// TestCompareZeroBaselineAllocs: a benchmark recorded at 0 allocs/op that
+// starts allocating has no relative delta; it must still regress.
+func TestCompareZeroBaselineAllocs(t *testing.T) {
+	base := NewBaseline(env(), samplesOf("pkg.BenchmarkTight", 0, 1000))
+	run := samplesOf("pkg.BenchmarkTight", 1, 1000)
+	cmp := Compare(run, base, Options{Env: env()})
+	r := resultFor(t, cmp, "pkg.BenchmarkTight")
+	if r.Class != Regressed {
+		t.Fatalf("0→1 allocs/op classified %v, want regressed", r.Class)
+	}
+}
+
+// TestCompareEnvMismatchWidensTime: on a different machine the ns/op
+// tolerance stretches by NoiseFactor, but allocation metrics stay strict.
+func TestCompareEnvMismatchWidensTime(t *testing.T) {
+	otherEnv := env()
+	otherEnv.NumCPU = 16
+	base := NewBaseline(otherEnv, merge(
+		samplesOf("pkg.BenchmarkTime", 2, 1000),
+		samplesOf("pkg.BenchmarkAlloc", 100, 1000),
+	))
+	// +60% time: above the 30% default, below 30%×3 cross-machine.
+	run := merge(
+		samplesOf("pkg.BenchmarkTime", 2, 1600),
+		samplesOf("pkg.BenchmarkAlloc", 150, 1000), // +50% allocs
+	)
+	cmp := Compare(run, base, Options{Env: env()})
+	if cmp.EnvMatch {
+		t.Fatal("EnvMatch = true for differing NumCPU")
+	}
+	if r := resultFor(t, cmp, "pkg.BenchmarkTime"); r.Class != OK {
+		t.Errorf("+60%% time on mismatched env classified %v, want ok (widened)", r.Class)
+	}
+	if r := resultFor(t, cmp, "pkg.BenchmarkAlloc"); r.Class != Regressed {
+		t.Errorf("+50%% allocs classified %v, want regressed (no widening)", r.Class)
+	}
+
+	// Same deltas on a matching machine: the time regression now gates.
+	cmp = Compare(run, base, Options{Env: otherEnv})
+	if r := resultFor(t, cmp, "pkg.BenchmarkTime"); r.Class != Regressed {
+		t.Errorf("+60%% time on matching env classified %v, want regressed", r.Class)
+	}
+}
+
+func TestToleranceOverride(t *testing.T) {
+	base := NewBaseline(env(), samplesOf("pkg.BenchmarkHot", 2, 1000))
+	run := samplesOf("pkg.BenchmarkHot", 2, 1100) // +10%
+	tol := DefaultTolerances()
+	tol["ns/op"] = 0.05
+	cmp := Compare(run, base, Options{Env: env(), Tolerances: tol})
+	if r := resultFor(t, cmp, "pkg.BenchmarkHot"); r.Class != Regressed {
+		t.Errorf("+10%% vs 5%% tolerance classified %v, want regressed", r.Class)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/base.json"
+	base := NewBaseline(env(), merge(
+		samplesOf("pkg.BenchmarkA", 2, 1000, 1010, 990),
+		samplesOf("pkg.BenchmarkB", 3, 500),
+	))
+	if err := base.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Env != base.Env {
+		t.Errorf("env round-trip: got %+v want %+v", got.Env, base.Env)
+	}
+	if got.Benchmarks["pkg.BenchmarkA"].Metrics["ns/op"] != 1000 {
+		t.Errorf("median ns/op round-trip = %v, want 1000",
+			got.Benchmarks["pkg.BenchmarkA"].Metrics["ns/op"])
+	}
+	if got.Benchmarks["pkg.BenchmarkA"].Samples != 3 {
+		t.Errorf("samples = %d, want 3", got.Benchmarks["pkg.BenchmarkA"].Samples)
+	}
+}
+
+func TestLoadBaselineRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/base.json"
+	for name, content := range map[string]string{
+		"wrong version": `{"version": 99, "benchmarks": {"x": {"metrics": {"ns/op": 1}}}}`,
+		"empty":         `{"version": 1, "benchmarks": {}}`,
+		"not json":      `BenchmarkOops-4 10 100 ns/op`,
+	} {
+		if err := writeFile(path, content); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadBaseline(path); err == nil {
+			t.Errorf("LoadBaseline accepted %s baseline", name)
+		} else if !strings.Contains(err.Error(), "perf:") {
+			t.Errorf("%s: error %q lacks perf: prefix", name, err)
+		}
+	}
+}

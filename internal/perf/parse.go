@@ -1,0 +1,121 @@
+package perf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseResult is the structured form of one or more `go test -bench` runs
+// concatenated into a single stream.
+type ParseResult struct {
+	// Names lists qualified benchmark names ("pkg.BenchmarkX[/sub]") in
+	// first-seen order, so reports are stable without sorting.
+	Names []string
+	// Samples maps a qualified name to its measurements, one per
+	// benchmark line (i.e. -count=N yields N entries).
+	Samples map[string][]Sample
+	// GOOS, GOARCH and CPU echo the last header lines seen, when the
+	// stream includes them (go test prints them per package).
+	GOOS, GOARCH, CPU string
+}
+
+// Parse reads `go test -bench` output. It is deliberately tolerant: the
+// benchmarks in this repo interleave b.Log tables (regenerated paper
+// tables) with measurement lines, and CI streams may mix several
+// packages. Only column-0 lines that look like
+//
+//	BenchmarkName[-P] <iters> <value> <unit> [<value> <unit>]...
+//
+// are treated as measurements; `pkg:` headers qualify the names so
+// identically-named benchmarks in different packages cannot collide.
+// Lines that start with "Benchmark" but do not parse as a measurement
+// (e.g. a benchmark header line before sub-benchmarks run) are skipped,
+// not errors.
+func Parse(r io.Reader) (*ParseResult, error) {
+	res := &ParseResult{Samples: map[string][]Sample{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(line[len("pkg: "):])
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			res.GOOS = strings.TrimSpace(line[len("goos: "):])
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			res.GOARCH = strings.TrimSpace(line[len("goarch: "):])
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			res.CPU = strings.TrimSpace(line[len("cpu: "):])
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue // indented b.Log noise, PASS/ok trailers, --- BENCH headers
+		}
+		name, s, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		key := name
+		if pkg != "" {
+			key = pkg + "." + name
+		}
+		if _, seen := res.Samples[key]; !seen {
+			res.Names = append(res.Names, key)
+		}
+		res.Samples[key] = append(res.Samples[key], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf: scanning bench output: %w", err)
+	}
+	return res, nil
+}
+
+// parseBenchLine parses one measurement line. The name has its -P
+// GOMAXPROCS suffix stripped (recorded in Sample.Procs); everything after
+// the iteration count is (value, unit) pairs.
+func parseBenchLine(line string) (string, Sample, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return "", Sample{}, false
+	}
+	iters, err := strconv.Atoi(f[1])
+	if err != nil || iters <= 0 {
+		return "", Sample{}, false
+	}
+	name, procs := splitProcs(f[0])
+	s := Sample{Iters: iters, Procs: procs, Metrics: make(map[string]float64, (len(f)-2)/2)}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", Sample{}, false
+		}
+		unit := f[i+1]
+		if _, err := strconv.ParseFloat(unit, 64); err == nil {
+			return "", Sample{}, false // two adjacent numbers: not a value/unit pair
+		}
+		s.Metrics[unit] = v
+	}
+	return name, s, true
+}
+
+// splitProcs strips the trailing "-N" GOMAXPROCS suffix go test appends
+// to benchmark names. Sub-benchmark path separators are preserved:
+// "BenchmarkAblationConnect/cardinal-8" → ("BenchmarkAblationConnect/cardinal", 8).
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}

@@ -1,0 +1,159 @@
+package perf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// parseFixture parses one testdata file, failing the test on error.
+func parseFixture(t *testing.T, name string) *ParseResult {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	res, err := Parse(f)
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", name, err)
+	}
+	return res
+}
+
+func TestParseTrackedMulti(t *testing.T) {
+	res := parseFixture(t, "tracked_multi.txt")
+
+	wantNames := []string{
+		"cardopc/internal/fft.BenchmarkForward1024",
+		"cardopc/internal/fft.BenchmarkForward2_256",
+		"cardopc/internal/spline.BenchmarkLoopSample/cardinal",
+		"cardopc/internal/spline.BenchmarkLoopSample/bezier",
+	}
+	if !reflect.DeepEqual(res.Names, wantNames) {
+		t.Fatalf("Names = %v, want %v", res.Names, wantNames)
+	}
+	if res.GOOS != "linux" || res.GOARCH != "amd64" {
+		t.Errorf("header env = %s/%s, want linux/amd64", res.GOOS, res.GOARCH)
+	}
+
+	// Exact values of the first Forward1024 sample.
+	fwd := res.Samples["cardopc/internal/fft.BenchmarkForward1024"]
+	if len(fwd) != 3 {
+		t.Fatalf("Forward1024 samples = %d, want 3 (-count=3)", len(fwd))
+	}
+	s0 := fwd[0]
+	if s0.Iters != 10 || s0.Procs != 4 {
+		t.Errorf("sample 0 iters/procs = %d/%d, want 10/4", s0.Iters, s0.Procs)
+	}
+	wantMetrics := map[string]float64{"ns/op": 22564, "B/op": 0, "allocs/op": 0}
+	if !reflect.DeepEqual(s0.Metrics, wantMetrics) {
+		t.Errorf("sample 0 metrics = %v, want %v", s0.Metrics, wantMetrics)
+	}
+
+	// Medians: middle of {22564, 23522, 25102} and {273, 270, 270}.
+	med := MedianMetrics(fwd)
+	if med["ns/op"] != 23522 {
+		t.Errorf("Forward1024 median ns/op = %v, want 23522", med["ns/op"])
+	}
+	med2 := MedianMetrics(res.Samples["cardopc/internal/fft.BenchmarkForward2_256"])
+	if med2["allocs/op"] != 270 {
+		t.Errorf("Forward2_256 median allocs/op = %v, want 270", med2["allocs/op"])
+	}
+	if med2["B/op"] != 1049184 {
+		t.Errorf("Forward2_256 median B/op = %v, want 1049184", med2["B/op"])
+	}
+
+	// Sub-benchmarks keep their slash path and shed the -4 suffix.
+	card := res.Samples["cardopc/internal/spline.BenchmarkLoopSample/cardinal"]
+	if len(card) != 2 || card[1].Metrics["ns/op"] != 10197 {
+		t.Errorf("cardinal samples = %+v, want 2 with ns/op 10197 second", card)
+	}
+}
+
+func TestParseNoisyTables(t *testing.T) {
+	res := parseFixture(t, "noisy_tables.txt")
+
+	// Interleaved b.Log tables, "--- BENCH:" headers, a bare benchmark
+	// name and a malformed line must all be skipped; the four real
+	// measurement lines must all survive.
+	wantNames := []string{
+		"cardopc.BenchmarkAblationConnect/cardinal",
+		"cardopc.BenchmarkAblationConnect/bezier",
+		"cardopc.BenchmarkMRCResolve",
+		"cardopc.BenchmarkTable1",
+	}
+	if !reflect.DeepEqual(res.Names, wantNames) {
+		t.Fatalf("Names = %v, want %v", res.Names, wantNames)
+	}
+
+	// Custom b.ReportMetric units parse next to the standard columns.
+	conn := res.Samples["cardopc.BenchmarkAblationConnect/cardinal"][0]
+	want := map[string]float64{
+		"ns/op": 12007172, "pts/op": 725224, "B/op": 13568, "allocs/op": 1,
+	}
+	if !reflect.DeepEqual(conn.Metrics, want) {
+		t.Errorf("connect metrics = %v, want %v", conn.Metrics, want)
+	}
+	mrc := res.Samples["cardopc.BenchmarkMRCResolve"][0]
+	if mrc.Metrics["violations"] != 53 {
+		t.Errorf("violations = %v, want 53", mrc.Metrics["violations"])
+	}
+	if mrc.Metrics["ns/op"] != 12077306836 {
+		t.Errorf("MRCResolve ns/op = %v, want 12077306836", mrc.Metrics["ns/op"])
+	}
+
+	// The indented table rows contain numbers but no column-0
+	// "Benchmark" prefix; none may leak in as samples.
+	for name := range res.Samples {
+		switch name {
+		case wantNames[0], wantNames[1], wantNames[2], wantNames[3]:
+		default:
+			t.Errorf("unexpected benchmark parsed from noise: %q", name)
+		}
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkForward1024-4", "BenchmarkForward1024", 4},
+		{"BenchmarkLoopSample/cardinal-16", "BenchmarkLoopSample/cardinal", 16},
+		{"BenchmarkNoSuffix", "BenchmarkNoSuffix", 1},
+		{"BenchmarkForward2_256-4", "BenchmarkForward2_256", 4},
+		{"BenchmarkTrailingDash-", "BenchmarkTrailingDash-", 1},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = %q,%d want %q,%d", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median(nil); m != 0 {
+		t.Errorf("Median(nil) = %v, want 0", m)
+	}
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v, want 2", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); math.Abs(m-2.5) > 1e-12 {
+		t.Errorf("even median = %v, want 2.5", m)
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	_ = Median(in)
+	if !reflect.DeepEqual(in, []float64{3, 1, 2}) {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}

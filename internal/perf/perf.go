@@ -1,0 +1,100 @@
+// Package perf is the benchmark-tracking subsystem behind cmd/benchdiff:
+// a parser for `go test -bench` output, an environment fingerprint, a JSON
+// baseline store (BENCH_BASELINE.json at the module root), and a
+// noise-aware comparator that classifies each benchmark against the
+// baseline as ok / improved / regressed / new / vanished.
+//
+// The package is stdlib-only, mirroring internal/analysis: the perf gate
+// must never acquire dependencies the pipeline itself does not have.
+//
+// Pipeline shape (see DESIGN.md "Performance tracking"):
+//
+//	go test -bench … -count=N ──► Parse ──► Samples (N per benchmark)
+//	                                            │ median per metric
+//	BENCH_BASELINE.json ──► LoadBaseline ──► Compare ──► Report / exit code
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+)
+
+// Env is the environment fingerprint stored alongside a baseline. Times
+// recorded on one machine are only loosely comparable on another, so the
+// comparator widens time tolerances when the fingerprint of the current
+// run does not match the baseline's (see Options.NoiseFactor).
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CurrentEnv fingerprints the running process.
+func CurrentEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Matches reports whether two fingerprints describe comparable machines
+// for timing purposes.
+func (e Env) Matches(o Env) bool {
+	return e.GoVersion == o.GoVersion && e.GOOS == o.GOOS &&
+		e.GOARCH == o.GOARCH && e.NumCPU == o.NumCPU
+}
+
+// String renders the fingerprint on one line.
+func (e Env) String() string {
+	return fmt.Sprintf("%s %s/%s cpu=%d maxprocs=%d",
+		e.GoVersion, e.GOOS, e.GOARCH, e.NumCPU, e.GOMAXPROCS)
+}
+
+// Sample is one benchmark line: one measurement of every reported metric.
+// Running with -count=N yields N samples per benchmark.
+type Sample struct {
+	// Iters is the iteration count the testing package settled on.
+	Iters int
+	// Procs is the GOMAXPROCS suffix of the benchmark name (1 if absent).
+	Procs int
+	// Metrics maps unit → value: "ns/op", "B/op", "allocs/op", "MB/s",
+	// and any custom b.ReportMetric unit.
+	Metrics map[string]float64
+}
+
+// Median returns the median of vs (mean of the middle pair for even
+// lengths). It copies vs; the input is not reordered.
+func Median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// MedianMetrics collapses samples into one metric map, taking the median
+// over the samples that report each unit.
+func MedianMetrics(samples []Sample) map[string]float64 {
+	byUnit := map[string][]float64{}
+	for _, s := range samples {
+		for unit, v := range s.Metrics {
+			byUnit[unit] = append(byUnit[unit], v)
+		}
+	}
+	out := make(map[string]float64, len(byUnit))
+	for unit, vs := range byUnit {
+		out[unit] = Median(vs)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package perf
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+)
+
+// Tracked names one package's slice of the curated tracked set: the
+// hot-path micro-benchmarks cheap enough to run with -count=5 in CI.
+// The heavyweight paper-artefact benches at the module root
+// (BenchmarkTable1 …) stay out of the gate — they regenerate whole
+// evaluation tables and are minutes-per-sample; EXPERIMENTS.md covers
+// their numbers instead.
+type Tracked struct {
+	// Pkg is the package path relative to the module root.
+	Pkg string
+	// Pattern is the -bench regexp selecting the tracked benchmarks.
+	Pattern string
+}
+
+// TrackedSet returns the curated hot-path set, one entry per package:
+// FFT transforms (the litho inner loop), aerial image + adjoint gradient
+// (the OPC/ILT cost evaluation), raster fill and marching squares (mask
+// ↔ field conversion), R-tree build/search (MRC neighbour queries),
+// spline evaluation (control-point connection), and MRC resolve.
+func TrackedSet() []Tracked {
+	return []Tracked{
+		{Pkg: "./internal/fft", Pattern: "^(BenchmarkForward1024|BenchmarkForward2_256)$"},
+		{Pkg: "./internal/litho", Pattern: "^(BenchmarkAerial256|BenchmarkGradient256)$"},
+		{Pkg: "./internal/raster", Pattern: "^(BenchmarkFillPolygon|BenchmarkMarchingSquares)$"},
+		{Pkg: "./internal/rtree", Pattern: "^(BenchmarkSTRBuild1000|BenchmarkSearch1000)$"},
+		{Pkg: "./internal/spline", Pattern: "^BenchmarkLoopSample$"},
+		{Pkg: "./internal/mrc", Pattern: "^BenchmarkResolveSpacing$"},
+	}
+}
+
+// RunOptions configures a tracked-set run.
+type RunOptions struct {
+	// Count is the -count sample count (>=3 for a meaningful median).
+	Count int
+	// Benchtime is passed as -benchtime (e.g. "100ms", "20x").
+	Benchtime string
+	// CPU pins GOMAXPROCS via -cpu for stable, comparable numbers.
+	CPU int
+	// Dir is the working directory (module root); "" means inherit.
+	Dir string
+	// Log, when non-nil, receives the raw go test stream as it arrives
+	// (tee for CI artifacts).
+	Log io.Writer
+}
+
+// DefaultRunOptions match the Makefile bench-check target and the CI
+// bench job: 5 samples, a short fixed benchtime, GOMAXPROCS=4.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{Count: 5, Benchtime: "100ms", CPU: 4}
+}
+
+// RunTracked shells out to `go test` for each tracked package and
+// returns the concatenated raw bench output. Benchmarks run with -run ^$
+// so no unit tests execute, and with -benchmem so allocation metrics are
+// always present. A non-zero go test exit is an error (the bench gate
+// must not silently pass on a package that fails to build).
+func RunTracked(set []Tracked, opt RunOptions) ([]byte, error) {
+	if opt.Count < 1 {
+		opt.Count = 1
+	}
+	var out bytes.Buffer
+	for _, t := range set {
+		args := []string{
+			"test", "-run", "^$",
+			"-bench", t.Pattern,
+			"-benchmem",
+			"-count", strconv.Itoa(opt.Count),
+		}
+		if opt.Benchtime != "" {
+			args = append(args, "-benchtime", opt.Benchtime)
+		}
+		if opt.CPU > 0 {
+			args = append(args, "-cpu", strconv.Itoa(opt.CPU))
+		}
+		args = append(args, t.Pkg)
+
+		cmd := exec.Command("go", args...)
+		cmd.Dir = opt.Dir
+		var w io.Writer = &out
+		if opt.Log != nil {
+			w = io.MultiWriter(&out, opt.Log)
+		}
+		cmd.Stdout = w
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("perf: go test -bench %s %s: %w", t.Pattern, t.Pkg, err)
+		}
+	}
+	return out.Bytes(), nil
+}

@@ -1,0 +1,30 @@
+package spline
+
+import (
+	"math"
+	"testing"
+
+	"cardopc/internal/geom"
+)
+
+// BenchmarkLoopSample measures closed-loop evaluation — the per-shape
+// cost of the §IV-D control-point connection step — for both spline
+// kinds on a 64-point loop at the production sampling density. Part of
+// the tracked set gated by cmd/benchdiff.
+func BenchmarkLoopSample(b *testing.B) {
+	ctrl := make([]geom.Pt, 64)
+	for i := range ctrl {
+		a := 2 * math.Pi * float64(i) / float64(len(ctrl))
+		ctrl[i] = geom.P(500+300*math.Cos(a), 500+300*math.Sin(a))
+	}
+	for _, kind := range []Kind{Cardinal, Bezier} {
+		b.Run(kind.String(), func(b *testing.B) {
+			loop := NewLoop(kind, ctrl, DefaultTension)
+			buf := make(geom.Polygon, 0, len(ctrl)*8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = loop.SampleInto(buf, 8)
+			}
+		})
+	}
+}
