@@ -11,7 +11,7 @@ BENCH_CPU ?= 4
 # BENCH_COUNT runs are what benchdiff compares (>= 3 for a useful median).
 BENCH_COUNT ?= 5
 
-.PHONY: all build test vet race bench bench-record bench-check
+.PHONY: all build test vet vet-fast race bench bench-record bench-check
 
 all: build vet test
 
@@ -24,10 +24,17 @@ build:
 test:
 	$(GO) test ./...
 
-# go vet plus the repo's own analyzer suite over every package.
+# go vet plus the repo's own analyzer suite over every package. Cold:
+# the whole module is re-type-checked every run.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/cardopc-vet ./...
+
+# Incremental analyzer run for the edit loop: unchanged packages are
+# served from .cardopc-vet-cache, so only edited packages (and their
+# dependents) pay for type-checking. Same diagnostics as `make vet`.
+vet-fast:
+	$(GO) run ./cmd/cardopc-vet -incremental -timings ./...
 
 # Race-detector pass over the whole module. Slow (the parallel
 # aerial/gradient reductions dominate); run before merging anything that

@@ -125,17 +125,16 @@ func (al *Allowlist) Stale() []*AllowEntry {
 }
 
 // filterInlineAllows drops diagnostics suppressed by //cardopc:allow
-// comments in the analyzed sources.
-func filterInlineAllows(mod *Module, diags []Diagnostic) []Diagnostic {
+// comments in pkg's sources. Diagnostics for a package always point
+// into its own files, so collecting directives per package is exact.
+func filterInlineAllows(mod *Module, pkg *Package, diags []Diagnostic) []Diagnostic {
 	if len(diags) == 0 {
 		return diags
 	}
 	// allowed[file][line] -> set of analyzer names allowed there.
 	allowed := map[string]map[int]map[string]bool{}
-	for _, pkg := range mod.Pkgs {
-		for _, f := range pkg.Files {
-			collectInlineAllows(mod, f, allowed)
-		}
+	for _, f := range pkg.Files {
+		collectInlineAllows(mod, f, allowed)
 	}
 	var out []Diagnostic
 	for _, d := range diags {

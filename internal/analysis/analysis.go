@@ -22,6 +22,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one analyzer finding at a source position.
@@ -81,6 +82,9 @@ func All() []*Analyzer {
 		MutexCopy,
 		ErrCheckLite,
 		BufAlias,
+		UnitCheck,
+		DetOrder,
+		GoLeak,
 	}
 }
 
@@ -99,14 +103,43 @@ func ByName(name string) (*Analyzer, bool) {
 // are honoured here; file-based allowlisting is applied separately so
 // callers can distinguish suppressed findings from absent ones.
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	return RunTimed(mod, analyzers, nil)
+}
+
+// RunTimed is Run with optional wall-time accounting: when tm is
+// non-nil, per-analyzer and per-package durations accumulate into it.
+func RunTimed(mod *Module, analyzers []*Analyzer, tm *Timings) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range mod.Pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: mod.Fset, Pkg: pkg, diags: &diags}
-			a.Run(pass)
-		}
+		diags = append(diags, RunPackage(mod, pkg, analyzers, tm)...)
 	}
-	diags = filterInlineAllows(mod, diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// RunPackage applies the analyzers to one package of mod and returns
+// its diagnostics with that package's inline //cardopc:allow directives
+// already filtered out (directives suppress diagnostics in the file
+// they sit in, so package granularity loses nothing). The result is the
+// per-package unit the incremental cache stores.
+func RunPackage(mod *Module, pkg *Package, analyzers []*Analyzer, tm *Timings) []Diagnostic {
+	var diags []Diagnostic
+	pkgStart := time.Now()
+	for _, a := range analyzers {
+		start := time.Now()
+		pass := &Pass{Analyzer: a, Fset: mod.Fset, Pkg: pkg, diags: &diags}
+		a.Run(pass)
+		tm.addAnalyzer(a.Name, time.Since(start))
+	}
+	tm.addPackage(pkg.Path, time.Since(pkgStart), false)
+	diags = filterInlineAllows(mod, pkg, diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders diagnostics by (file, line, column, analyzer)
+// so every reporting path is byte-stable across runs.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -120,5 +153,4 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }

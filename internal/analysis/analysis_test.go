@@ -23,6 +23,9 @@ var fixtureCases = []struct {
 	{MutexCopy, "mutexcopy"},
 	{ErrCheckLite, "errchecklite"},
 	{BufAlias, "bufalias"},
+	{UnitCheck, "unitcheck"},
+	{DetOrder, "detorder"},
+	{GoLeak, "goleak"},
 }
 
 var wantRe = regexp.MustCompile(`// want "([^"]*)"`)

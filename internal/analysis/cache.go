@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CacheVersion is folded into every package cache key; bump it whenever
+// the Diagnostic encoding or analyzer semantics change in a way old
+// entries cannot represent.
+const CacheVersion = "cardopc-vet-cache-v1"
+
+// DefaultCacheDirName is the cache directory cardopc-vet -incremental
+// uses under the module root when -cache-dir is not given.
+const DefaultCacheDirName = ".cardopc-vet-cache"
+
+// scannedPackage is the cheap survey view of one module package: file
+// content hashes and intra-module imports, gathered with
+// parser.ImportsOnly so an all-hit warm run never pays for full parsing
+// or type-checking (the stdlib source importer dominates a cold run).
+type scannedPackage struct {
+	rel     string   // module-root-relative slash path; "." for the root package
+	dir     string   // absolute source directory
+	files   []string // non-test source names, sorted (os.ReadDir order)
+	hashes  []string // sha256 content hashes, parallel to files
+	imports []string // intra-module dependencies as rel paths, sorted
+	key     string   // cache key, filled in by computeKeys
+}
+
+// importPath renders the package's full import path under modPath.
+func (p *scannedPackage) importPath(modPath string) string {
+	if p.rel == "." {
+		return modPath
+	}
+	return modPath + "/" + p.rel
+}
+
+// scanModule surveys every non-test package under root. Only import
+// clauses are parsed; function bodies are never touched.
+func scanModule(root, modPath string) ([]*scannedPackage, error) {
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var pkgs []*scannedPackage
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		sp := &scannedPackage{rel: filepath.ToSlash(rel), dir: dir}
+		deps := map[string]bool{}
+		for _, e := range ents {
+			if !isSourceFile(e) {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			sum := sha256.Sum256(data)
+			sp.files = append(sp.files, e.Name())
+			sp.hashes = append(sp.hashes, hex.EncodeToString(sum[:]))
+			f, err := parser.ParseFile(fset, path, data, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range f.Imports {
+				if r, ok := relImportPath(modPath, strings.Trim(imp.Path.Value, `"`)); ok {
+					deps[r] = true
+				}
+			}
+		}
+		if len(sp.files) == 0 {
+			continue
+		}
+		for dep := range deps {
+			sp.imports = append(sp.imports, dep)
+		}
+		sort.Strings(sp.imports)
+		pkgs = append(pkgs, sp)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].rel < pkgs[j].rel })
+	return pkgs, nil
+}
+
+// relImportPath converts an import path to a module-root-relative path,
+// reporting false for imports outside the module (stdlib dependencies
+// are covered by folding the toolchain version into every key).
+func relImportPath(modPath, imp string) (string, bool) {
+	if imp == modPath {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(imp, modPath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// computeKeys assigns each package a cache key covering the cache
+// format, the toolchain, the analyzer set, the package's own file
+// contents and — recursively — the keys of its intra-module
+// dependencies, so editing one package invalidates every dependent.
+func computeKeys(pkgs []*scannedPackage, analyzers []*Analyzer) error {
+	byRel := make(map[string]*scannedPackage, len(pkgs))
+	for _, p := range pkgs {
+		byRel[p.rel] = p
+	}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	suite := strings.Join(names, ",")
+
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *scannedPackage) error
+	visit = func(p *scannedPackage) error {
+		switch state[p.rel] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", p.rel)
+		case 2:
+			return nil
+		}
+		state[p.rel] = 1
+		h := sha256.New()
+		fprintf(h, "%s\ngo %s\nanalyzers %s\npkg %s\n", CacheVersion, runtime.Version(), suite, p.rel)
+		for i, name := range p.files {
+			fprintf(h, "file %s %s\n", name, p.hashes[i])
+		}
+		for _, imp := range p.imports {
+			dep, ok := byRel[imp]
+			if !ok {
+				continue
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+			fprintf(h, "dep %s %s\n", imp, dep.key)
+		}
+		p.key = hex.EncodeToString(h.Sum(nil))
+		state[p.rel] = 2
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cacheEntry is one package's persisted result: the key it was computed
+// under and its diagnostics (after inline //cardopc:allow filtering,
+// before allowlist-file filtering — so stale-entry detection still sees
+// suppressed findings on warm runs). Diagnostic filenames are stored
+// root-relative so the cache survives a checkout move.
+type cacheEntry struct {
+	Key   string       `json:"key"`
+	Diags []Diagnostic `json:"diags"`
+}
+
+// cacheFileName flattens a package's rel path into one file name.
+func cacheFileName(rel string) string {
+	if rel == "." {
+		return "_root_.json"
+	}
+	return strings.ReplaceAll(rel, "/", "__") + ".json"
+}
+
+func readCacheEntry(cacheDir, rel string) (*cacheEntry, error) {
+	data, err := os.ReadFile(filepath.Join(cacheDir, cacheFileName(rel)))
+	if err != nil {
+		return nil, err
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return nil, err
+	}
+	return &ent, nil
+}
+
+func writeCacheEntry(cacheDir, rel string, ent *cacheEntry) error {
+	data, err := json.Marshal(ent)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(cacheDir, cacheFileName(rel)), data, 0o644)
+}
+
+// rebasedDiags returns a copy of diags with filenames re-rooted: toward
+// the cache (abs=false) they become root-relative slash paths, and back
+// out (abs=true) they become absolute host paths again.
+func rebasedDiags(root string, diags []Diagnostic, abs bool) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if abs {
+			d.Pos.Filename = filepath.Join(root, filepath.FromSlash(d.Pos.Filename))
+		} else if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// IncrementalResult is what RunIncremental produced and how much of it
+// came from the cache.
+type IncrementalResult struct {
+	// Diags is the combined, sorted diagnostic list — identical to what
+	// Run over a full LoadModule would report.
+	Diags []Diagnostic
+	// Hits counts packages served from the cache; Misses counts packages
+	// re-analyzed this run. Hits+Misses is the module's package count.
+	Hits, Misses int
+}
+
+// RunIncremental is the cache-backed equivalent of LoadModule+Run: it
+// hashes every package, serves unchanged ones from cacheDir and
+// re-analyzes only the misses (loading just their dependency closure
+// for type-checking). An unchanged module therefore skips parsing and
+// type-checking entirely, which is where a cold run spends nearly all
+// of its time. cacheDir defaults to DefaultCacheDirName under root.
+func RunIncremental(root, cacheDir string, analyzers []*Analyzer, tm *Timings) (*IncrementalResult, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	if cacheDir == "" {
+		cacheDir = filepath.Join(root, DefaultCacheDirName)
+	}
+	pkgs, err := scanModule(root, modPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := computeKeys(pkgs, analyzers); err != nil {
+		return nil, err
+	}
+	byRel := make(map[string]*scannedPackage, len(pkgs))
+	for _, p := range pkgs {
+		byRel[p.rel] = p
+	}
+
+	valid := map[string]*cacheEntry{}
+	var misses []*scannedPackage
+	for _, p := range pkgs {
+		start := time.Now()
+		if ent, err := readCacheEntry(cacheDir, p.rel); err == nil && ent.Key == p.key {
+			valid[p.rel] = ent
+			tm.addPackage(p.importPath(modPath), time.Since(start), true)
+		} else {
+			misses = append(misses, p)
+		}
+	}
+	res := &IncrementalResult{Hits: len(pkgs) - len(misses), Misses: len(misses)}
+
+	if len(misses) > 0 {
+		// Type-checking a miss needs its intra-module dependencies loaded
+		// too, so the subset is the misses' transitive import closure.
+		need := map[string]bool{}
+		var include func(rel string)
+		include = func(rel string) {
+			if need[rel] {
+				return
+			}
+			need[rel] = true
+			for _, imp := range byRel[rel].imports {
+				if _, ok := byRel[imp]; ok {
+					include(imp)
+				}
+			}
+		}
+		missSet := map[string]bool{}
+		for _, p := range misses {
+			missSet[p.rel] = true
+			include(p.rel)
+		}
+		var dirs []string
+		for _, p := range pkgs { // pkgs is sorted: deterministic subset order
+			if need[p.rel] {
+				dirs = append(dirs, p.dir)
+			}
+		}
+		mod, err := loadModuleDirs(root, modPath, dirs)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+			return nil, err
+		}
+		for _, pkg := range mod.Pkgs {
+			rel, ok := relImportPath(modPath, pkg.Path)
+			if !ok || !missSet[rel] {
+				continue // dependency loaded only for type-checking
+			}
+			diags := RunPackage(mod, pkg, analyzers, tm)
+			ent := &cacheEntry{Key: byRel[rel].key, Diags: rebasedDiags(root, diags, false)}
+			if err := writeCacheEntry(cacheDir, rel, ent); err != nil {
+				return nil, err
+			}
+			valid[rel] = ent
+		}
+	}
+
+	for _, p := range pkgs {
+		if ent := valid[p.rel]; ent != nil {
+			res.Diags = append(res.Diags, rebasedDiags(root, ent.Diags, true)...)
+		}
+	}
+	sortDiagnostics(res.Diags)
+	return res, nil
+}

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// writeFixtureModule lays out a tiny two-package module: package a trips
+// floatcmp, package b imports a and trips detorder. Importing fmt forces
+// the stdlib source importer on cold runs, which is exactly the cost the
+// cache exists to skip.
+func writeFixtureModule(t testing.TB, dir string) {
+	t.Helper()
+	files := map[string]string{
+		"go.mod": "module fixturemod\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import "fmt"
+
+func Eq(x, y float64) bool { return x == y }
+
+func Show(x float64) string { return fmt.Sprintf("%v", x) }
+`,
+		"b/b.go": `package b
+
+import "fixturemod/a"
+
+func Keys(m map[string]float64) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func AnyZero(m map[string]float64) bool {
+	for _, v := range m {
+		if a.Eq(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func runIncr(t *testing.T, root, cacheDir string, analyzers []*Analyzer) (*IncrementalResult, time.Duration) {
+	t.Helper()
+	start := time.Now()
+	res, err := RunIncremental(root, cacheDir, analyzers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, time.Since(start)
+}
+
+func TestIncrementalColdWarm(t *testing.T) {
+	dir := t.TempDir()
+	writeFixtureModule(t, dir)
+	cacheDir := filepath.Join(dir, ".cardopc-vet-cache")
+
+	cold, coldDur := runIncr(t, dir, cacheDir, All())
+	if cold.Hits != 0 || cold.Misses != 2 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/2", cold.Hits, cold.Misses)
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range cold.Diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer["floatcmp"] != 1 || byAnalyzer["detorder"] != 1 {
+		t.Fatalf("cold diagnostics: %v", cold.Diags)
+	}
+
+	warm, warmDur := runIncr(t, dir, cacheDir, All())
+	if warm.Hits != 2 || warm.Misses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d, want 2/0", warm.Hits, warm.Misses)
+	}
+	if !reflect.DeepEqual(cold.Diags, warm.Diags) {
+		t.Fatalf("warm diagnostics diverge from cold:\n cold %v\n warm %v", cold.Diags, warm.Diags)
+	}
+
+	// The acceptance bar: serving an unchanged module from cache must be
+	// at least 3x faster than the cold run. In practice the gap is a few
+	// orders of magnitude (the cold run type-checks fmt from $GOROOT/src;
+	// the warm run hashes two files and reads two JSON entries), so 3x
+	// holds with a wide flake margin.
+	if coldDur < 3*warmDur {
+		t.Errorf("warm run not >=3x faster: cold %v, warm %v", coldDur, warmDur)
+	}
+}
+
+func TestIncrementalInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	writeFixtureModule(t, dir)
+	cacheDir := filepath.Join(dir, ".cardopc-vet-cache")
+	runIncr(t, dir, cacheDir, All())
+
+	// Editing a leaf package re-analyzes only that package.
+	bPath := filepath.Join(dir, "b", "b.go")
+	data, err := os.ReadFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, append(data, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := runIncr(t, dir, cacheDir, All())
+	if res.Hits != 1 || res.Misses != 1 {
+		t.Fatalf("after editing b: hits=%d misses=%d, want 1/1", res.Hits, res.Misses)
+	}
+
+	// Editing a dependency re-analyzes it and every dependent: b's key
+	// folds in a's key.
+	aPath := filepath.Join(dir, "a", "a.go")
+	data, err = os.ReadFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aPath, append(data, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = runIncr(t, dir, cacheDir, All())
+	if res.Hits != 0 || res.Misses != 2 {
+		t.Fatalf("after editing a: hits=%d misses=%d, want 0/2", res.Hits, res.Misses)
+	}
+
+	// Unchanged again: everything hits.
+	res, _ = runIncr(t, dir, cacheDir, All())
+	if res.Hits != 2 || res.Misses != 0 {
+		t.Fatalf("steady state: hits=%d misses=%d, want 2/0", res.Hits, res.Misses)
+	}
+}
+
+func TestIncrementalAnalyzerSetChange(t *testing.T) {
+	dir := t.TempDir()
+	writeFixtureModule(t, dir)
+	cacheDir := filepath.Join(dir, ".cardopc-vet-cache")
+	runIncr(t, dir, cacheDir, All())
+
+	// A different analyzer set is a different key: nothing may be served
+	// from entries computed under the full suite.
+	res, _ := runIncr(t, dir, cacheDir, []*Analyzer{FloatCmp})
+	if res.Hits != 0 || res.Misses != 2 {
+		t.Fatalf("after narrowing analyzers: hits=%d misses=%d, want 0/2", res.Hits, res.Misses)
+	}
+	for _, d := range res.Diags {
+		if d.Analyzer != "floatcmp" {
+			t.Errorf("unexpected analyzer in narrowed run: %v", d)
+		}
+	}
+	res, _ = runIncr(t, dir, cacheDir, []*Analyzer{FloatCmp})
+	if res.Hits != 2 || res.Misses != 0 {
+		t.Fatalf("narrowed warm run: hits=%d misses=%d, want 2/0", res.Hits, res.Misses)
+	}
+}
+
+// TestIncrementalAllowlistStale pins the contract that cached entries
+// hold diagnostics from *before* allowlist-file filtering: an allow
+// entry keeps matching across warm runs, and once the underlying
+// violation is fixed the entry reads as stale — even when every package
+// is served from cache.
+func TestIncrementalAllowlistStale(t *testing.T) {
+	dir := t.TempDir()
+	writeFixtureModule(t, dir)
+	cacheDir := filepath.Join(dir, ".cardopc-vet-cache")
+	allowPath := filepath.Join(dir, DefaultAllowlistName)
+	if err := os.WriteFile(allowPath, []byte("detorder b/b.go # fixture exception\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	runIncr(t, dir, cacheDir, All()) // populate
+	warm, _ := runIncr(t, dir, cacheDir, All())
+	if warm.Hits != 2 {
+		t.Fatalf("warm hits=%d, want 2", warm.Hits)
+	}
+	allow, err := ParseAllowlist(allowPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := allow.Filter(dir, warm.Diags)
+	for _, d := range filtered {
+		if d.Analyzer == "detorder" {
+			t.Errorf("allowlisted detorder diagnostic survived: %v", d)
+		}
+	}
+	if stale := allow.Stale(); len(stale) != 0 {
+		t.Fatalf("entry should have matched, got stale: %v", stale[0])
+	}
+
+	// Fix the violation; the cached-then-recomputed diagnostics no longer
+	// feed the entry, so Stale must flag it.
+	bPath := filepath.Join(dir, "b", "b.go")
+	fixed := `package b
+
+import "fixturemod/a"
+
+func AnyZero(m map[string]float64) bool {
+	for _, v := range m {
+		if a.Eq(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+`
+	if err := os.WriteFile(bPath, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := runIncr(t, dir, cacheDir, All())
+	allow, err = ParseAllowlist(allowPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allow.Filter(dir, res.Diags)
+	stale := allow.Stale()
+	if len(stale) != 1 || stale[0].Analyzer != "detorder" {
+		t.Fatalf("want the detorder entry stale after the fix, got %v", stale)
+	}
+}

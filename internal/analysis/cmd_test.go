@@ -92,6 +92,47 @@ func TestCLIListsAnalyzers(t *testing.T) {
 	}
 }
 
+func TestCLIIncrementalAndTimings(t *testing.T) {
+	dir := writeTempModule(t)
+	cache := filepath.Join(dir, "vetcache")
+	var out, errb strings.Builder
+	if code := CLIMain([]string{"-incremental", "-cache-dir=" + cache, "-timings", dir}, &out, &errb); code != 1 {
+		t.Fatalf("cold incremental exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[floatcmp]") {
+		t.Errorf("cold incremental run lost the diagnostic:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "0/1 package(s) served from cache") {
+		t.Errorf("timings report missing cold cache line:\n%s", errb.String())
+	}
+
+	coldOut := out.String()
+	out.Reset()
+	errb.Reset()
+	if code := CLIMain([]string{"-incremental", "-cache-dir=" + cache, "-timings", dir}, &out, &errb); code != 1 {
+		t.Fatalf("warm incremental exit = %d, want 1", code)
+	}
+	if out.String() != coldOut {
+		t.Errorf("warm output diverges from cold:\n cold %s\n warm %s", coldOut, out.String())
+	}
+	if !strings.Contains(errb.String(), "1/1 package(s) served from cache") || !strings.Contains(errb.String(), "(cached)") {
+		t.Errorf("timings report missing warm cache lines:\n%s", errb.String())
+	}
+}
+
+func TestCLITimingsWithoutIncremental(t *testing.T) {
+	dir := writeTempModule(t)
+	var out, errb strings.Builder
+	if code := CLIMain([]string{"-timings", dir}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	for _, want := range []string{"timings: total", "per analyzer:", "floatcmp", "per package:", "0/1 package(s) served from cache"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("timings report missing %q:\n%s", want, errb.String())
+		}
+	}
+}
+
 func TestParseAllowlistRejectsGarbage(t *testing.T) {
 	dir := t.TempDir()
 	p := filepath.Join(dir, "allow.txt")

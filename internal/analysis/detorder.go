@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetOrder flags `range` over a map whose iteration order feeds ordered
+// output. Go randomises map iteration per run, so a map range that
+// appends to a result slice, prints, or writes records produces output
+// that differs between two executions of the same program — fatal for
+// byte-deterministic GDS streams, experiment tables, hashes, and the
+// benchtrack gate's reproducibility story.
+//
+// A diagnostic fires when the loop body, directly (not inside a nested
+// function literal):
+//   - appends to a slice variable declared outside the loop, unless the
+//     enclosing function sorts that slice (sort.* / slices.*) after the
+//     loop — the collect-keys-then-sort idiom is the approved fix;
+//   - calls an ordered sink: fmt.Print*/Fprint*/Sprint* appends to
+//     streams, a method whose name starts with Write, or Encode.
+//
+// Map ranges that only aggregate (sum, max, build another map) are
+// order-insensitive and stay silent.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "flag map iteration feeding ordered output (slices, writers, encoders) without sorting",
+	Run:  runDetOrder,
+}
+
+func runDetOrder(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				detOrderFunc(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+func detOrderFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals are visited as their own function
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(pass.TypeOf(rng.X)) {
+			return true
+		}
+		checkMapRangeBody(pass, body, rng)
+		return true
+	})
+}
+
+// checkMapRangeBody looks for ordered sinks directly inside one map
+// range's body.
+func checkMapRangeBody(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			if n != rng && isMapType(pass.TypeOf(n.X)) {
+				return false // nested map range reports on its own
+			}
+		case *ast.AssignStmt:
+			checkOrderedAppend(pass, fnBody, rng, n)
+		case *ast.CallExpr:
+			if name, isSink := orderedSinkCall(pass, n); isSink {
+				pass.Reportf(n.Pos(), "%s inside a map range makes output order nondeterministic; sort the keys first", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkOrderedAppend flags `x = append(x, ...)` where x is a slice
+// declared outside the range statement and never sorted afterwards.
+func checkOrderedAppend(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if name, ok := calleeName(call); !ok || name != "append" {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		// Declared inside the loop: per-iteration slice, order-local.
+		if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+			continue
+		}
+		if sortedAfter(pass, fnBody, obj, rng.End()) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "append to %s inside a map range makes its element order nondeterministic; sort the keys first (or sort %s afterwards)", id.Name, id.Name)
+	}
+}
+
+// orderedSinkCall reports whether call writes ordered output: the fmt
+// print family, Write*-named methods, or encoders.
+func orderedSinkCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if recv, ok := ast.Unparen(sel.X).(*ast.Ident); ok && recv.Name == "fmt" {
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Sprint") {
+			// Sprint feeding a local comparison is harmless, but inside a
+			// map range it almost always builds output; keep the net wide.
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	if strings.HasPrefix(name, "Write") || name == "Encode" {
+		return name + " call", true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.* call
+// positioned after pos in the function body — the approved
+// collect-then-sort idiom.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			hit := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					hit = true
+				}
+				return !hit
+			})
+			if hit {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

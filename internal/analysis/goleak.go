@@ -1,0 +1,436 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoLeak audits goroutine fan-outs: the worker pools in litho, fft and
+// bigopc launch `go func` literals in loops and must drain them with a
+// sync.WaitGroup or a channel the launcher closes/receives. A missing
+// or conditional drain leaks goroutines per call — invisible in unit
+// tests, fatal in a long-running service where every OPC request spawns
+// a pool.
+//
+// Per enclosing function, for each `go func(){...}` literal:
+//   - wg discipline: a literal calling wg.Done() on a WaitGroup
+//     declared in this function requires wg.Wait() here too; wg.Add
+//     inside the literal races with Wait and is flagged; a return
+//     between the launch and the Wait leaks the pool on early exit;
+//   - channel discipline: a literal sending on a channel made in this
+//     function requires a receive from it here (or the channel must
+//     escape); a literal ranging over a locally-made channel requires a
+//     close here;
+//   - a literal launched in a loop with neither discipline is an
+//     unbounded fan-out and is flagged outright.
+//
+// WaitGroups and channels received from parameters or fields are
+// assumed drained by the owner and stay silent.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "flag goroutine fan-outs whose WaitGroup/channel drain is missing or conditional",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				goLeakFunc(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// goStmtInfo is one `go func(){...}` launched directly in the scope.
+type goStmtInfo struct {
+	stmt   *ast.GoStmt
+	lit    *ast.FuncLit
+	inLoop bool
+}
+
+func goLeakFunc(pass *Pass, body *ast.BlockStmt) {
+	var gos []goStmtInfo
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return m == n // the scope's own goroutine literals are handled below
+			case *ast.ForStmt:
+				if m.Body != nil {
+					walk(m.Body, loopDepth+1)
+				}
+				// Init/Cond/Post cannot hold go statements.
+				return false
+			case *ast.RangeStmt:
+				if m.Body != nil {
+					walk(m.Body, loopDepth+1)
+				}
+				return false
+			case *ast.GoStmt:
+				if lit, ok := m.Call.Fun.(*ast.FuncLit); ok {
+					gos = append(gos, goStmtInfo{stmt: m, lit: lit, inLoop: loopDepth > 0})
+				}
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+	if len(gos) == 0 {
+		return
+	}
+
+	for _, g := range gos {
+		checkGoStmt(pass, body, g)
+	}
+}
+
+func checkGoStmt(pass *Pass, body *ast.BlockStmt, g goStmtInfo) {
+	wg := doneTarget(pass, g.lit)
+	if wg != nil {
+		checkWaitGroup(pass, body, g, wg)
+		return
+	}
+	if ch := sendTarget(pass, g.lit); ch != nil && localTo(body, ch) && !escapes(pass, body, ch) {
+		if !receivesFrom(pass, body, g.lit, ch) {
+			pass.Reportf(g.stmt.Pos(), "goroutine sends on %s but this function never receives from it; the send blocks forever once buffering runs out", ch.Name())
+		}
+		return
+	}
+	if ch := rangeTarget(pass, g.lit); ch != nil && localTo(body, ch) && !escapes(pass, body, ch) {
+		if !closesChan(pass, body, g.lit, ch) {
+			pass.Reportf(g.stmt.Pos(), "worker ranges over %s but this function never closes it; the goroutine blocks forever after the last job", ch.Name())
+		}
+		return
+	}
+	if g.inLoop && !usesSyncPrimitive(pass, g.lit) {
+		pass.Reportf(g.stmt.Pos(), "goroutine fan-out in a loop with no WaitGroup or channel drain; the launcher cannot know when the workers finish")
+	}
+}
+
+// checkWaitGroup enforces the Add-before-launch / Wait-after pattern on
+// a WaitGroup declared in this function.
+func checkWaitGroup(pass *Pass, body *ast.BlockStmt, g goStmtInfo, wg types.Object) {
+	// Add inside the goroutine races with Wait regardless of ownership.
+	if at, ok := callOn(pass, g.lit.Body, wg, "Add", nil); ok {
+		pass.Reportf(at, "%s.Add inside the goroutine races with %s.Wait; call Add before the go statement", wg.Name(), wg.Name())
+	}
+	if !localTo(body, wg) {
+		return // parameter/field WaitGroups are drained by their owner
+	}
+	waitPos, hasWait := callOn(pass, body, wg, "Wait", func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		return ok && lit == g.lit // the launched goroutine must not Wait on itself
+	})
+	if !hasWait {
+		pass.Reportf(g.stmt.Pos(), "goroutine calls %s.Done but %s.Wait is never called in this function; the pool is never drained", wg.Name(), wg.Name())
+		return
+	}
+	// Early return between the launch and the drain leaks the pool on
+	// that path.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if ok && ret.Pos() > g.stmt.End() && ret.Pos() < waitPos {
+			pass.Reportf(ret.Pos(), "return between the goroutine launch and %s.Wait leaks the pool on this path", wg.Name())
+		}
+		return true
+	})
+}
+
+// doneTarget returns the object X when the literal calls X.Done() on a
+// sync.WaitGroup, else nil.
+func doneTarget(pass *Pass, lit *ast.FuncLit) types.Object {
+	var obj types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if o := pass.ObjectOf(id); o != nil && isWaitGroup(o.Type()) {
+			obj = o
+		}
+		return obj == nil
+	})
+	return obj
+}
+
+// sendTarget returns the channel object the literal sends on, else nil.
+func sendTarget(pass *Pass, lit *ast.FuncLit) types.Object {
+	var obj types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(send.Chan).(*ast.Ident); ok {
+			if o := pass.ObjectOf(id); o != nil && isChan(o.Type()) {
+				obj = o
+			}
+		}
+		return obj == nil
+	})
+	return obj
+}
+
+// rangeTarget returns the channel object the literal ranges over, else
+// nil.
+func rangeTarget(pass *Pass, lit *ast.FuncLit) types.Object {
+	var obj types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(rng.X).(*ast.Ident); ok {
+			if o := pass.ObjectOf(id); o != nil && isChan(o.Type()) {
+				obj = o
+			}
+		}
+		return obj == nil
+	})
+	return obj
+}
+
+// receivesFrom reports whether the function (outside the launched
+// literal) receives from ch: a <-ch expression or a range over it.
+// Receives inside other goroutine literals count — a consumer
+// goroutine is a drain.
+func receivesFrom(pass *Pass, body *ast.BlockStmt, launched *ast.FuncLit, ch types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && lit == launched {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.ObjectOf(id) == ch {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.ObjectOf(id) == ch {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// closesChan reports whether the function (outside the launched
+// literal) calls close(ch).
+func closesChan(pass *Pass, body *ast.BlockStmt, launched *ast.FuncLit, ch types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && lit == launched {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := calleeName(call); !ok || name != "close" || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.ObjectOf(id) == ch {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// escapes reports whether obj leaves the function's control: returned,
+// stored into a composite/field, or passed to a call other than the
+// builtins close/len/cap.
+func escapes(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	esc := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if esc {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if mentionsObj(pass, r, obj) {
+					esc = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if mentionsObj(pass, e, obj) {
+					esc = true
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := calleeName(n); ok && (name == "close" || name == "len" || name == "cap" || name == "make") {
+				return true
+			}
+			for _, a := range n.Args {
+				if id, ok := ast.Unparen(a).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					esc = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Stored through a selector or dereference: someone else may
+			// drain it.
+			for i, lhs := range n.Lhs {
+				if _, plain := lhs.(*ast.Ident); plain || i >= len(n.Rhs) {
+					continue
+				}
+				if mentionsObj(pass, n.Rhs[i], obj) {
+					esc = true
+				}
+			}
+		}
+		return !esc
+	})
+	return esc
+}
+
+func mentionsObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callOn finds a call obj.<method>() in root, skipping subtrees where
+// skip returns true. Returns the call position.
+func callOn(pass *Pass, root ast.Node, obj types.Object, method string, skip func(ast.Node) bool) (token.Pos, bool) {
+	at := token.NoPos
+	ast.Inspect(root, func(n ast.Node) bool {
+		if at.IsValid() {
+			return false
+		}
+		if skip != nil && skip(n) {
+			return false
+		}
+		call, okc := n.(*ast.CallExpr)
+		if !okc {
+			return true
+		}
+		sel, oks := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !oks || sel.Sel.Name != method {
+			return true
+		}
+		if id, oki := ast.Unparen(sel.X).(*ast.Ident); oki && pass.ObjectOf(id) == obj {
+			at = call.Pos()
+		}
+		return !at.IsValid()
+	})
+	return at, at.IsValid()
+}
+
+// localTo reports whether obj is declared inside the function body
+// (parameters and fields sit outside it).
+func localTo(body *ast.BlockStmt, obj types.Object) bool {
+	return obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+}
+
+// isWaitGroup matches sync.WaitGroup and *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "WaitGroup" && o.Pkg() != nil && o.Pkg().Path() == "sync"
+}
+
+// isChan matches channel-typed objects.
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// usesSyncPrimitive reports whether the literal touches any WaitGroup,
+// mutex or channel at all — enough discipline to silence the
+// unbounded-fan-out fallback (the specific checks above cover the
+// precise patterns).
+func usesSyncPrimitive(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if o := pass.ObjectOf(n); o != nil && o.Type() != nil {
+				if isChan(o.Type()) || isWaitGroup(o.Type()) || isMutexType(o.Type()) {
+					found = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if strings.HasPrefix(n.Sel.Name, "Lock") || strings.HasPrefix(n.Sel.Name, "Unlock") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isMutexType matches sync.Mutex/RWMutex (and pointers to them).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return (o.Name() == "Mutex" || o.Name() == "RWMutex") && o.Pkg() != nil && o.Pkg().Path() == "sync"
+}

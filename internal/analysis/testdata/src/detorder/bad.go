@@ -1,0 +1,43 @@
+// Known-bad fixture for the detorder analyzer: map iteration order
+// leaking into ordered output — result slices, print streams, record
+// writers.
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside a map range"
+	}
+	return keys
+}
+
+func printUnsorted(w io.Writer, m map[string]float64) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%v\n", k, v) // want "fmt.Fprintf inside a map range"
+	}
+}
+
+type recordWriter struct{ w io.Writer }
+
+func (r *recordWriter) WriteRecord(b []byte) { r.w.Write(b) }
+
+func streamUnsorted(r *recordWriter, m map[int][]byte) {
+	for _, b := range m {
+		r.WriteRecord(b) // want "WriteRecord call inside a map range"
+	}
+}
+
+func nestedSink(m map[string][]int) []int {
+	var out []int
+	for _, vs := range m {
+		for _, v := range vs {
+			out = append(out, v) // want "append to out inside a map range"
+		}
+	}
+	return out
+}

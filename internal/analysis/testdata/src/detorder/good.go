@@ -1,0 +1,55 @@
+// Known-good fixture for the detorder analyzer: sorted-key iteration,
+// the collect-then-sort idiom, and order-insensitive aggregation.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below: order restored
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printSorted(w io.Writer, m map[string]float64) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%v\n", k, m[k]) // slice range, deterministic
+	}
+}
+
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // commutative: order cannot matter
+	}
+	return total
+}
+
+func buildMap(m map[string]int) map[int]string {
+	inv := map[int]string{}
+	for k, v := range m {
+		inv[v] = k // map-to-map: no order observable
+	}
+	return inv
+}
+
+func perIterationSlice(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...) // declared inside the loop
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+// Known-bad fixture for the goleak analyzer: fan-outs whose drain is
+// missing, racy, or conditional.
+package fixture
+
+import "sync"
+
+func noWait(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want "wg.Wait is never called"
+			defer wg.Done()
+		}()
+	}
+}
+
+func addInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "wg.Add inside the goroutine races with wg.Wait"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func earlyReturn(n int, fail bool) error {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	if fail {
+		return errFail // want "return between the goroutine launch and wg.Wait"
+	}
+	wg.Wait()
+	return nil
+}
+
+var errFail error
+
+func sendNoReceive(n int) {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) { // want "sends on ch but this function never receives"
+			ch <- i
+		}(i)
+	}
+}
+
+func rangeNoClose(n int) {
+	jobs := make(chan int, n)
+	go func() { // want "ranges over jobs but this function never closes it"
+		for j := range jobs {
+			_ = j
+		}
+	}()
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+}
+
+func fireAndForgetLoop(xs []int) {
+	for _, x := range xs {
+		go func(x int) { // want "fan-out in a loop with no WaitGroup or channel drain"
+			_ = x * x
+		}(x)
+	}
+}

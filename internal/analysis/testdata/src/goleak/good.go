@@ -1,0 +1,77 @@
+// Known-good fixture for the goleak analyzer: the disciplined pool
+// patterns the repo's litho/fft/bigopc fan-outs use.
+package fixture
+
+import "sync"
+
+// workerPool is the canonical shape: Add before launch, deferred Done,
+// close the job channel, Wait before returning.
+func workerPool(workers, n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = i * i
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// sendReceived: the launcher drains the channel itself.
+func sendReceived(n int) int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			ch <- i
+		}(i)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ch
+	}
+	return total
+}
+
+// escapingChannel is returned to the caller, which owns the drain.
+func escapingChannel(n int) chan int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			ch <- i
+		}(i)
+	}
+	return ch
+}
+
+// paramWaitGroup: a WaitGroup owned by the caller is its drain problem.
+func paramWaitGroup(wg *sync.WaitGroup, n int) {
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+}
+
+// returnAfterWait: returns after the drain are fine.
+func returnAfterWait(n int) int {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+	return n
+}

@@ -1,0 +1,43 @@
+// Known-bad fixture for the unitcheck analyzer: arithmetic mixing
+// nm-world quantities with pixel-raster quantities without an explicit
+// pitch conversion.
+package fixture
+
+// Grid mirrors raster.Grid: Pitch is nm per pixel.
+type Grid struct {
+	Size  int
+	Pitch float64
+}
+
+// Cfg mirrors a litho config: PitchNM is nm per pixel.
+type Cfg struct {
+	GridSize  int
+	PitchNM   float64
+	DefocusNM float64
+}
+
+func addMixed(g Grid, offsetNM float64) float64 {
+	px := offsetNM / g.Pitch
+	return px + offsetNM // want "mixes nm and pixel quantities"
+}
+
+func cmpMixed(c Cfg, spanPx float64) bool {
+	return spanPx < c.DefocusNM // want "mixes nm and pixel quantities"
+}
+
+func viaVars(g Grid, widthNM float64) float64 {
+	w := widthNM / g.Pitch // w is pixels now
+	margin := widthNM
+	return w - margin // want "mixes nm and pixel quantities"
+}
+
+func badStore(g Grid, dNM float64) float64 {
+	var edgeNM float64
+	edgeNM = dNM / g.Pitch // want "pixel-unit value assigned to nm-named variable edgeNM"
+	return edgeNM
+}
+
+func badStorePx(g Grid, count float64) float64 {
+	stepPx := count * g.Pitch // want "nm-unit value assigned to pixel-named variable stepPx"
+	return stepPx
+}

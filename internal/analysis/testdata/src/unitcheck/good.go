@@ -1,0 +1,30 @@
+// Known-good fixture for the unitcheck analyzer: explicit conversions
+// through the pitch, unit-consistent arithmetic, and dimensionless
+// constants.
+package fixture
+
+func extent(g Grid) float64 {
+	return float64(g.Size) * g.Pitch // count * pitch -> nm
+}
+
+func toPixel(g Grid, xNM float64) float64 {
+	return xNM/g.Pitch - 0.5 // px minus a dimensionless half-pixel offset
+}
+
+func nmOnly(c Cfg, haloNM float64) float64 {
+	fovNM := float64(c.GridSize) * c.PitchNM
+	return fovNM + 2*haloNM // nm + nm
+}
+
+func pxOnly(g Grid, aNM, bNM float64) float64 {
+	ax := aNM / g.Pitch
+	bx := bNM / g.Pitch
+	return ax - bx // px - px
+}
+
+// viaHelper converts through a function call, which resets provenance:
+// the helper owns the unit contract.
+func viaHelper(g Grid, xNM float64) float64 {
+	px := toPixel(g, xNM)
+	return px + 1
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timings accumulates wall time per analyzer and per package during a
+// run, so the cardopc-vet -timings flag can show where the gate spends
+// its budget and how much the incremental cache saves. All methods are
+// nil-safe: a nil *Timings records nothing, which keeps the hot driver
+// path free of conditionals at every call site.
+type Timings struct {
+	// Total is the end-to-end duration the caller measured (load +
+	// analyze + cache bookkeeping), set via SetTotal.
+	Total time.Duration
+
+	analyzer map[string]time.Duration
+	packages []PackageTiming
+}
+
+// PackageTiming is one package's share of the run.
+type PackageTiming struct {
+	Path string
+	Dur  time.Duration
+	// Cached marks packages whose diagnostics came from the incremental
+	// cache; Dur then covers only hashing and cache I/O.
+	Cached bool
+}
+
+func (t *Timings) addAnalyzer(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if t.analyzer == nil {
+		t.analyzer = map[string]time.Duration{}
+	}
+	t.analyzer[name] += d
+}
+
+func (t *Timings) addPackage(path string, d time.Duration, cached bool) {
+	if t == nil {
+		return
+	}
+	t.packages = append(t.packages, PackageTiming{Path: path, Dur: d, Cached: cached})
+}
+
+// SetTotal records the overall run duration.
+func (t *Timings) SetTotal(d time.Duration) {
+	if t != nil {
+		t.Total = d
+	}
+}
+
+// Packages returns the per-package timings sorted by descending
+// duration (ties by path).
+func (t *Timings) Packages() []PackageTiming {
+	if t == nil {
+		return nil
+	}
+	out := append([]PackageTiming(nil), t.packages...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dur != out[j].Dur {
+			return out[i].Dur > out[j].Dur
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// Analyzers returns the per-analyzer totals sorted by descending
+// duration (ties by name).
+func (t *Timings) Analyzers() []AnalyzerTiming {
+	if t == nil {
+		return nil
+	}
+	out := make([]AnalyzerTiming, 0, len(t.analyzer))
+	for name, d := range t.analyzer {
+		out = append(out, AnalyzerTiming{Name: name, Dur: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dur != out[j].Dur {
+			return out[i].Dur > out[j].Dur
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// AnalyzerTiming is one analyzer's total across all packages.
+type AnalyzerTiming struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Fprint renders the timing report: total, per-analyzer, then
+// per-package with cached packages marked. Output errors are
+// best-effort discarded — a timing report that fails to print is not
+// itself worth diagnosing.
+func (t *Timings) Fprint(w io.Writer) {
+	if t == nil {
+		return
+	}
+	fprintf(w, "timings: total %v\n", t.Total.Round(time.Microsecond))
+	if ans := t.Analyzers(); len(ans) > 0 {
+		fprintf(w, "timings: per analyzer:\n")
+		for _, a := range ans {
+			fprintf(w, "  %-13s %v\n", a.Name, a.Dur.Round(time.Microsecond))
+		}
+	}
+	if pkgs := t.Packages(); len(pkgs) > 0 {
+		cached := 0
+		fprintf(w, "timings: per package:\n")
+		for _, p := range pkgs {
+			mark := ""
+			if p.Cached {
+				mark = "  (cached)"
+				cached++
+			}
+			fprintf(w, "  %-40s %v%s\n", p.Path, p.Dur.Round(time.Microsecond), mark)
+		}
+		fprintf(w, "timings: %d/%d package(s) served from cache\n", cached, len(pkgs))
+	}
+}
+
+// String renders the report into a string (test convenience).
+func (t *Timings) String() string {
+	if t == nil {
+		return ""
+	}
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}

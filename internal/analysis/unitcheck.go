@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitCheck tracks nanometre-vs-pixel provenance through the raster and
+// config structs. CardOPC's world coordinates are nanometres; the litho
+// simulator operates on pixel rasters; raster.Grid's Pitch (and litho's
+// PitchNM) is the nm-per-pixel conversion factor between the two. A
+// quantity divided by a pitch is in pixel units, a pixel count
+// multiplied by a pitch is in nanometres — and adding, subtracting or
+// comparing across that boundary is the classic silent OPC unit bug: a
+// 4 nm EPE treated as 4 pixels is off by the pitch, and nothing
+// crashes.
+//
+// The analyzer tags expressions intra-function:
+//   - identifiers/fields named Pitch or PitchNM are nm-per-pixel
+//     factors;
+//   - identifiers/fields whose name ends in "NM" are nanometre
+//     quantities; names ending in "Px"/"PX" are pixel quantities;
+//   - x / pitch yields pixels, count * pitch yields nanometres, and
+//     tags propagate through +,-,*,/ and := assignments.
+//
+// It flags +, - and ordered comparisons whose operands carry opposite
+// tags, and assignments that store a pixel value into an nm-named
+// variable (or vice versa). Conversions routed through a helper call
+// (Grid.ToPixel/ToWorld or any function) reset the tag, so the fix —
+// an explicit conversion — silences the diagnostic naturally.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "flag arithmetic mixing nm and pixel quantities without an explicit pitch conversion",
+	Run:  runUnitCheck,
+}
+
+// unit is the provenance tag of an expression.
+type unit int
+
+const (
+	unitUnknown unit = iota
+	unitNM           // nanometres (world coordinates)
+	unitPx           // pixels (raster coordinates)
+	unitPerPx        // nm-per-pixel conversion factor (Pitch)
+)
+
+func (u unit) String() string {
+	switch u {
+	case unitNM:
+		return "nm"
+	case unitPx:
+		return "pixel"
+	case unitPerPx:
+		return "nm-per-pixel"
+	}
+	return "unknown"
+}
+
+// pitchNames are the nm-per-pixel conversion-factor fields.
+var pitchNames = map[string]bool{"Pitch": true, "PitchNM": true, "pitch": true, "pitchNM": true}
+
+func isNMName(name string) bool {
+	return len(name) > 2 && strings.HasSuffix(name, "NM") && !pitchNames[name]
+}
+
+func isPxName(name string) bool {
+	return len(name) > 2 && (strings.HasSuffix(name, "Px") || strings.HasSuffix(name, "PX"))
+}
+
+func runUnitCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				unitCheckFunc(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// unitCheckFunc runs the per-function tagging and reporting.
+func unitCheckFunc(pass *Pass, body *ast.BlockStmt) {
+	uc := &unitChecker{pass: pass, vars: map[types.Object]unit{}, conflict: map[types.Object]bool{}}
+
+	// Fixpoint over variable tags: straight-line code converges in one
+	// pass, tags flowing through chains of := need another; bail after a
+	// few rounds (the lattice height is tiny).
+	for i := 0; i < 4; i++ {
+		if !uc.collect(body) {
+			break
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own function
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				x, y := uc.tagOf(n.X), uc.tagOf(n.Y)
+				if (x == unitNM && y == unitPx) || (x == unitPx && y == unitNM) {
+					pass.Reportf(n.OpPos, "%s mixes nm and pixel quantities (%s %s %s); convert explicitly via the grid pitch", n.Op, x, n.Op, y)
+				}
+			}
+		case *ast.AssignStmt:
+			uc.checkNamedAssign(n)
+		}
+		return true
+	})
+}
+
+type unitChecker struct {
+	pass     *Pass
+	vars     map[types.Object]unit
+	conflict map[types.Object]bool
+}
+
+// collect walks the function once, recording tags for variables
+// assigned from tagged expressions. Returns true when any tag changed.
+func (uc *unitChecker) collect(body *ast.BlockStmt) bool {
+	changed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := uc.pass.ObjectOf(id)
+			if obj == nil || uc.conflict[obj] {
+				continue
+			}
+			tag := uc.tagOf(as.Rhs[i])
+			if tag == unitUnknown {
+				continue
+			}
+			if prev, ok := uc.vars[obj]; ok && prev != tag {
+				// Reassigned across units: distrust the variable.
+				delete(uc.vars, obj)
+				uc.conflict[obj] = true
+				changed = true
+				continue
+			} else if !ok {
+				uc.vars[obj] = tag
+				changed = true
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// tagOf classifies an expression's unit.
+func (uc *unitChecker) tagOf(e ast.Expr) unit {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := uc.pass.ObjectOf(e); obj != nil {
+			if u, ok := uc.vars[obj]; ok {
+				return u
+			}
+			if uc.conflict[obj] {
+				return unitUnknown
+			}
+		}
+		return uc.tagOfName(e.Name, e)
+	case *ast.SelectorExpr:
+		return uc.tagOfName(e.Sel.Name, e)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return uc.tagOf(e.X)
+		}
+	case *ast.BinaryExpr:
+		return uc.tagOfBinary(e)
+	case *ast.CallExpr:
+		// Numeric type conversions are transparent; real calls are
+		// conversion helpers and reset the tag.
+		if len(e.Args) == 1 && uc.isNumericConversion(e) {
+			return uc.tagOf(e.Args[0])
+		}
+	}
+	return unitUnknown
+}
+
+// tagOfName classifies a bare name, requiring a numeric type so method
+// values and struct selectors stay untagged.
+func (uc *unitChecker) tagOfName(name string, e ast.Expr) unit {
+	if !uc.isNumeric(e) {
+		return unitUnknown
+	}
+	switch {
+	case pitchNames[name]:
+		return unitPerPx
+	case isNMName(name):
+		return unitNM
+	case isPxName(name):
+		return unitPx
+	}
+	return unitUnknown
+}
+
+func (uc *unitChecker) tagOfBinary(e *ast.BinaryExpr) unit {
+	x, y := uc.tagOf(e.X), uc.tagOf(e.Y)
+	switch e.Op {
+	case token.ADD, token.SUB:
+		switch {
+		case x == y:
+			return x
+		case x == unitUnknown:
+			return y
+		case y == unitUnknown:
+			return x
+		}
+		return unitUnknown // mixed; reported at the use site
+	case token.MUL:
+		switch {
+		case x == unitPerPx && y != unitPerPx:
+			return mulPitch(y)
+		case y == unitPerPx && x != unitPerPx:
+			return mulPitch(x)
+		case x == unitNM && y == unitUnknown, y == unitNM && x == unitUnknown:
+			return unitNM // scaling an nm length by a count
+		case x == unitPx && y == unitUnknown, y == unitPx && x == unitUnknown:
+			return unitPx
+		}
+		return unitUnknown // nm*nm areas, px*px, ...
+	case token.QUO:
+		switch {
+		case y == unitPerPx && x != unitPx:
+			return unitPx // nm (or a raw count) over pitch -> pixels
+		case y == unitUnknown:
+			return x // dividing by a plain count keeps the unit
+		case x == unitNM && y == unitPx:
+			return unitPerPx
+		}
+	}
+	return unitUnknown
+}
+
+// mulPitch is the result of multiplying tag u by an nm-per-pixel
+// factor: pixel counts (or untagged counts) become nanometres.
+func mulPitch(u unit) unit {
+	if u == unitPx || u == unitUnknown {
+		return unitNM
+	}
+	return unitUnknown
+}
+
+// checkNamedAssign flags a tagged value stored into a variable whose
+// name claims the opposite unit.
+func (uc *unitChecker) checkNamedAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		tag := uc.tagOf(as.Rhs[i])
+		switch {
+		case isNMName(id.Name) && tag == unitPx:
+			uc.pass.Reportf(as.Rhs[i].Pos(), "pixel-unit value assigned to nm-named variable %s; multiply by the grid pitch first", id.Name)
+		case isPxName(id.Name) && tag == unitNM:
+			uc.pass.Reportf(as.Rhs[i].Pos(), "nm-unit value assigned to pixel-named variable %s; divide by the grid pitch first", id.Name)
+		}
+	}
+}
+
+// isNumeric reports whether e has a basic numeric type.
+func (uc *unitChecker) isNumeric(e ast.Expr) bool {
+	t := uc.pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// isNumericConversion reports whether call is a conversion to a basic
+// numeric type (float64(x), int(x), ...).
+func (uc *unitChecker) isNumericConversion(call *ast.CallExpr) bool {
+	tv, ok := uc.pass.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

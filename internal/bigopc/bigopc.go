@@ -12,6 +12,7 @@ package bigopc
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"cardopc/internal/core"
@@ -134,11 +135,19 @@ func Run(targets []geom.Polygon, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Process tiles in parallel over the shared simulator.
+	// Process tiles in parallel over the shared simulator. Sort the tile
+	// keys so MaskPolys (and hence the GDS stream) come out in a fixed
+	// row-major order regardless of map iteration.
 	keys := make([][2]int, 0, len(jobs))
 	for k := range jobs {
 		keys = append(keys, k)
 	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][1] != keys[j][1] {
+			return keys[i][1] < keys[j][1]
+		}
+		return keys[i][0] < keys[j][0]
+	})
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

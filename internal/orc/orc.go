@@ -11,6 +11,7 @@ package orc
 
 import (
 	"fmt"
+	"sort"
 
 	"cardopc/internal/geom"
 	"cardopc/internal/litho"
@@ -130,10 +131,17 @@ func verifyCorner(corner string, aerial *raster.Field, th float64, targets []geo
 		}
 	}
 
-	// Bridges: one label claimed by 2+ targets.
+	// Bridges: one label claimed by 2+ targets. Walk each target's label
+	// set in sorted order so defect order (and bridge ownership ties) do
+	// not depend on map iteration.
 	owner := map[int32]int{}
 	for ti, set := range targetLabels {
+		labs := make([]int32, 0, len(set))
 		for l := range set {
+			labs = append(labs, l)
+		}
+		sort.Slice(labs, func(i, j int) bool { return labs[i] < labs[j] })
+		for _, l := range labs {
 			if prev, ok := owner[l]; ok && prev != ti {
 				out = append(out, Defect{Kind: Bridge, Corner: corner, Target: ti, Pos: targets[ti].Centroid()})
 			} else {
@@ -178,7 +186,14 @@ func verifyCorner(corner string, aerial *raster.Field, th float64, targets []geo
 			sumY[l] += w.Y
 		}
 	}
-	for l, n := range areas {
+	// Report extras in ascending label order, not map order.
+	extraLabs := make([]int32, 0, len(areas))
+	for l := range areas {
+		extraLabs = append(extraLabs, l)
+	}
+	sort.Slice(extraLabs, func(i, j int) bool { return extraLabs[i] < extraLabs[j] })
+	for _, l := range extraLabs {
+		n := areas[l]
 		if _, owned := owner[l]; owned {
 			continue
 		}

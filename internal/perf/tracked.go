@@ -26,9 +26,11 @@ type Tracked struct {
 // FFT transforms (the litho inner loop), aerial image + adjoint gradient
 // (the OPC/ILT cost evaluation), raster fill and marching squares (mask
 // ↔ field conversion), R-tree build/search (MRC neighbour queries),
-// spline evaluation (control-point connection), and MRC resolve.
+// spline evaluation (control-point connection), MRC resolve, and the
+// cardopc-vet driver cold vs warm-cache (the CI gate's own latency).
 func TrackedSet() []Tracked {
 	return []Tracked{
+		{Pkg: "./internal/analysis", Pattern: "^(BenchmarkVetCold|BenchmarkVetWarm)$"},
 		{Pkg: "./internal/fft", Pattern: "^(BenchmarkForward1024|BenchmarkForward2_256)$"},
 		{Pkg: "./internal/litho", Pattern: "^(BenchmarkAerial256|BenchmarkGradient256)$"},
 		{Pkg: "./internal/raster", Pattern: "^(BenchmarkFillPolygon|BenchmarkMarchingSquares)$"},

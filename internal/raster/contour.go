@@ -1,6 +1,8 @@
 package raster
 
 import (
+	"sort"
+
 	"cardopc/internal/geom"
 )
 
@@ -335,10 +337,25 @@ func MarchingSquares(f *Field, th float64) []geom.Polygon {
 		}
 	}
 
-	// Stitch cycles.
+	// Stitch cycles from a sorted start list so polygon order — and with
+	// it the GDS byte stream — is independent of map iteration.
+	starts := make([]edgeKey, 0, len(next))
+	for k := range next {
+		starts = append(starts, k)
+	}
+	sort.Slice(starts, func(i, j int) bool {
+		a, b := starts[i], starts[j]
+		if a.y != b.y {
+			return a.y < b.y
+		}
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		return a.e < b.e
+	})
 	var out []geom.Polygon
 	visited := map[edgeKey]bool{}
-	for start := range next {
+	for _, start := range starts {
 		if visited[start] {
 			continue
 		}
