@@ -11,7 +11,7 @@ BENCH_CPU ?= 4
 # BENCH_COUNT runs are what benchdiff compares (>= 3 for a useful median).
 BENCH_COUNT ?= 5
 
-.PHONY: all build test vet vet-fast race bench bench-record bench-check
+.PHONY: all build test vet vet-fast race bench bench-record bench-check bench-trend
 
 all: build vet test
 
@@ -49,11 +49,16 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -cpu $(BENCH_CPU) ./...
 
-# Re-record BENCH_BASELINE.json from the tracked hot-path set. Run this
-# deliberately — on the reference machine, after an intentional perf
-# change — and commit the result.
+# Re-record BENCH_BASELINE.json from the tracked hot-path set and append
+# a per-commit snapshot to bench_history/. Run this deliberately — on
+# the reference machine, after an intentional perf change — and commit
+# both the baseline and the new BENCH_<sha>.json.
 bench-record:
-	$(GO) run ./cmd/benchdiff record -count $(BENCH_COUNT) -cpu $(BENCH_CPU)
+	$(GO) run ./cmd/benchdiff record -count $(BENCH_COUNT) -cpu $(BENCH_CPU) -history-dir bench_history
+
+# Render the recorded per-commit benchmark history as a markdown table.
+bench-trend:
+	$(GO) run ./cmd/benchdiff trend
 
 # Compare a fresh tracked-set run against BENCH_BASELINE.json; non-zero
 # exit on a regression beyond tolerance. Same gate CI's bench job runs.

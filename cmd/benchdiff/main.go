@@ -10,6 +10,9 @@
 //	                           report; exit 0 ok / 1 regression / 2 error
 //	benchdiff report [flags]   like check but never gates: renders text
 //	                           (default), -json, or -md and exits 0
+//	benchdiff trend  [flags]   render the per-commit snapshot history
+//	                           (bench_history/BENCH_<sha>.json) as a
+//	                           markdown table
 //
 // Shared flags: -baseline, -input (pre-captured `go test -bench` output,
 // "-" for stdin), -count, -benchtime, -cpu, -bench-out (tee the raw
@@ -26,9 +29,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"cardopc/internal/analysis"
 	"cardopc/internal/perf"
@@ -50,6 +55,8 @@ func run(args []string) int {
 		return cmdCheck(args[1:], true)
 	case "report":
 		return cmdCheck(args[1:], false)
+	case "trend":
+		return cmdTrend(args[1:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return 0
@@ -61,11 +68,13 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: benchdiff <record|check|report> [flags]
+	fmt.Fprint(os.Stderr, `usage: benchdiff <record|check|report|trend> [flags]
 
 record   run the tracked benchmark set and write the baseline
+         (-history-dir also appends a per-commit BENCH_<sha>.json snapshot)
 check    compare a run against the baseline; exit 1 on regression
 report   render the comparison (text, -json, -md) without gating
+trend    render the per-commit snapshot history as a markdown table
 
 Run 'benchdiff <subcommand> -h' for flags.
 `)
@@ -155,6 +164,8 @@ func cmdRecord(args []string) int {
 	fs := flag.NewFlagSet("benchdiff record", flag.ExitOnError)
 	var c commonFlags
 	addCommon(fs, &c)
+	historyDir := fs.String("history-dir", "", "also append a per-commit BENCH_<sha>.json snapshot to this directory")
+	commit := fs.String("commit", "", "commit SHA for the history snapshot (default: git rev-parse --short HEAD)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -173,6 +184,61 @@ func cmdRecord(args []string) int {
 	}
 	fmt.Printf("benchdiff: recorded %d benchmarks to %s (%s)\n",
 		len(base.Benchmarks), path, base.Env)
+
+	if *historyDir != "" {
+		sha := *commit
+		if sha == "" {
+			if sha, err = gitShortHead(root); err != nil {
+				return fail(fmt.Errorf("resolving commit for history snapshot (pass -commit): %w", err))
+			}
+		}
+		snap := perf.NewHistorySnapshot(base, sha, time.Now())
+		spath, err := snap.Save(resolve(root, *historyDir))
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("benchdiff: history snapshot written to %s\n", spath)
+	}
+	return 0
+}
+
+// gitShortHead resolves the working tree's commit for snapshot naming.
+func gitShortHead(root string) (string, error) {
+	cmd := exec.Command("git", "rev-parse", "--short", "HEAD")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("git rev-parse: %w", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+func cmdTrend(args []string) int {
+	fs := flag.NewFlagSet("benchdiff trend", flag.ExitOnError)
+	historyDir := fs.String("history-dir", perf.DefaultHistoryDir, "snapshot directory (relative paths resolve against the module root)")
+	unit := fs.String("unit", "ns/op", "metric unit to render (ns/op, B/op, allocs/op)")
+	mdOut := fs.String("md-out", "", "also write the table to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		return fail(err)
+	}
+	snaps, err := perf.LoadHistory(resolve(root, *historyDir))
+	if err != nil {
+		return fail(err)
+	}
+	if *mdOut != "" {
+		if err := writeWith(resolve(root, *mdOut), func(w io.Writer) error {
+			return perf.WriteTrend(w, snaps, *unit)
+		}); err != nil {
+			return fail(err)
+		}
+	}
+	if err := perf.WriteTrend(os.Stdout, snaps, *unit); err != nil {
+		return fail(err)
+	}
 	return 0
 }
 

@@ -24,6 +24,7 @@ import (
 	"cardopc/internal/layout"
 	"cardopc/internal/litho"
 	"cardopc/internal/metrics"
+	"cardopc/internal/obs"
 	"cardopc/internal/orc"
 	"cardopc/internal/raster"
 	"cardopc/internal/render"
@@ -48,12 +49,25 @@ func main() {
 		shots    = flag.Bool("shots", false, "print VSB fracturing statistics for the mask")
 		runORC   = flag.Bool("orc", false, "run lithography rule checking across the process corners")
 	)
+	var obsOpts cli.ObsOptions
+	cli.RegisterObsFlags(&obsOpts)
 	flag.Parse()
 
 	clip, err := cli.LoadClip(*caseName, *inPath)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	obsOpts.Cmd, obsOpts.Clip = "cardopc", clip.Name
+	run, err := cli.StartObs(obsOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := run.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	cfg := pickConfig(*layer, clip.Name)
 	if *iters > 0 {
@@ -74,8 +88,12 @@ func main() {
 	fmt.Printf("optimised %d control points over %d iterations (spline: %v)\n",
 		res.Mask.NumControlPoints(), res.Iterations, cfg.Spline)
 
+	rep := run.Report()
+	rep.Set("control_points", res.Mask.NumControlPoints())
+	rep.Set("iterations", res.Iterations)
+
 	polys := res.Mask.Polygons(cfg.SamplesPerSeg)
-	report(proc, polys, clip.Targets, cfg.ProbeSpacing)
+	report(proc, polys, clip.Targets, cfg.ProbeSpacing, rep)
 
 	if *outPath != "" {
 		if err := writeMaskClip(*outPath, clip, polys); err != nil {
@@ -112,6 +130,7 @@ func main() {
 	if *runORC {
 		defects := orc.Verify(proc, polys, clip.Targets, orc.DefaultConfig())
 		counts := orc.Count(defects)
+		rep.Set("orc_defects", len(defects))
 		fmt.Printf("ORC: %d defects (bridge %d, neck %d, missing %d, extra %d)\n",
 			len(defects), counts[orc.Bridge], counts[orc.Neck], counts[orc.Missing], counts[orc.Extra])
 		for _, d := range defects {
@@ -140,8 +159,9 @@ func pickConfig(layer, caseName string) core.Config {
 	}
 }
 
-// report prints the metric suite for the final mask.
-func report(proc *litho.Process, maskPolys, targets []geom.Polygon, spacing float64) {
+// report prints the metric suite for the final mask and records it in the
+// run report (rep is nil-safe).
+func report(proc *litho.Process, maskPolys, targets []geom.Polygon, spacing float64, rep *obs.Report) {
 	g := proc.Nominal.Grid()
 	mask := raster.Rasterize(g, maskPolys, 4)
 	mf := litho.MaskFreq(mask)
@@ -160,6 +180,12 @@ func report(proc *litho.Process, maskPolys, targets []geom.Polygon, spacing floa
 		epe.SumAbs, len(probes), epe.Violations, metrics.DefaultEPEConfig(ith).ThresholdNM)
 	fmt.Printf("PVB:  %.1f nm²\n", pvb)
 	fmt.Printf("L2:   %d px (%.1f nm²)\n", metrics.L2(nomB, tgt), metrics.L2Area(nomB, tgt))
+
+	rep.Set("epe_sum_nm", epe.SumAbs)
+	rep.Set("epe_probes", len(probes))
+	rep.Set("epe_violations", epe.Violations)
+	rep.Set("pvb_nm2", pvb)
+	rep.Set("l2_px", metrics.L2(nomB, tgt))
 }
 
 // writeMaskClip stores the corrected mask in the clip text format.

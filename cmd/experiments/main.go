@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"cardopc/internal/cli"
 	"cardopc/internal/core"
 	"cardopc/internal/exp"
 	"cardopc/internal/fit"
@@ -52,7 +53,20 @@ func main() {
 		iltIters = flag.Int("iltiters", 0, "override pixel-ILT iterations")
 		iters    = flag.Int("iters", 0, "override OPC iterations")
 	)
+	var obsOpts cli.ObsOptions
+	cli.RegisterObsFlags(&obsOpts)
 	flag.Parse()
+
+	obsOpts.Cmd = "experiments"
+	run, err := cli.StartObs(obsOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := run.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	opts := exp.Fast()
 	if *full {

@@ -39,12 +39,27 @@ func main() {
 		gridSize = flag.Int("grid", 512, "raster size (power of two)")
 		pitch    = flag.Float64("pitch", 4, "raster pitch in nm")
 	)
+	var obsOpts cli.ObsOptions
+	cli.RegisterObsFlags(&obsOpts)
+	cli.RegisterProfileFlags(&obsOpts)
 	flag.Parse()
 
 	clip, err := cli.LoadClip(*caseName, *inPath)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	obsOpts.Cmd, obsOpts.Clip = "iltrun", clip.Name
+	run, err := cli.StartObs(obsOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := run.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	rep := run.Report()
 
 	lcfg := litho.DefaultConfig()
 	lcfg.GridSize = *gridSize
@@ -67,6 +82,9 @@ func main() {
 	if !*doFit {
 		res := ilt.Run(sim, target, iltCfg)
 		printed := sim.Aerial(res.Mask).Threshold(lcfg.Threshold)
+		rep.Set("ilt_loss", res.Loss)
+		rep.Set("iterations", *iters)
+		rep.Set("l2_px", metrics.L2(printed, target.Threshold(0.5)))
 		fmt.Printf("%s: ILT loss %.1f after %d iterations, L2 %d px\n",
 			clip.Name, res.Loss, *iters, metrics.L2(printed, target.Threshold(0.5)))
 		if *svgPath != "" {
@@ -81,6 +99,13 @@ func main() {
 	printed := sim.Aerial(mask).Threshold(lcfg.Threshold)
 	probes := metrics.ProbesForLayout(clip.Targets, 40)
 	epe := metrics.MeasureEPE(sim.Aerial(mask), probes, metrics.DefaultEPEConfig(lcfg.Threshold))
+	rep.Set("shapes", len(hy.Mask.Shapes))
+	rep.Set("control_points", hy.Mask.NumControlPoints())
+	rep.Set("mrc_before", hy.MRCBefore)
+	rep.Set("mrc_after", hy.MRCAfter)
+	rep.Set("mrc_removed", hy.Removed)
+	rep.Set("l2_px", metrics.L2(printed, target.Threshold(0.5)))
+	rep.Set("epe_violations", epe.Violations)
 	fmt.Printf("%s: hybrid mask with %d shapes (%d control points)\n",
 		clip.Name, len(hy.Mask.Shapes), hy.Mask.NumControlPoints())
 	fmt.Printf("MRC: %d -> %d violations (%d specks removed)\n", hy.MRCBefore, hy.MRCAfter, hy.Removed)

@@ -35,12 +35,27 @@ func main() {
 		defocus  = flag.Float64("defocus", 0, "defocus in nm")
 		dose     = flag.Float64("dose", 1, "relative exposure dose")
 	)
+	var obsOpts cli.ObsOptions
+	cli.RegisterObsFlags(&obsOpts)
+	cli.RegisterProfileFlags(&obsOpts)
 	flag.Parse()
 
 	clip, err := cli.LoadClip(*caseName, *inPath)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	obsOpts.Cmd, obsOpts.Clip = "lithosim", clip.Name
+	run, err := cli.StartObs(obsOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := run.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	rep := run.Report()
 
 	lcfg := litho.DefaultConfig()
 	lcfg.GridSize = *gridSize
@@ -61,11 +76,16 @@ func main() {
 	printed := aerial.Threshold(ith)
 	fmt.Printf("EPE: sum %.2f nm over %d probes (%d violations)\n", epe.SumAbs, len(probes), epe.Violations)
 	fmt.Printf("L2:  %d px (%.1f nm²)\n", metrics.L2(printed, tgt), metrics.L2Area(printed, tgt))
+	rep.Set("epe_sum_nm", epe.SumAbs)
+	rep.Set("epe_violations", epe.Violations)
+	rep.Set("l2_px", metrics.L2(printed, tgt))
 
 	if *corners {
 		proc := litho.NewProcess(lcfg, litho.DefaultCorners())
 		nom, inner, outer := proc.PrintedAll(mask)
-		fmt.Printf("PVB: %.1f nm²\n", metrics.PVB(nom, inner, outer))
+		pvb := metrics.PVB(nom, inner, outer)
+		rep.Set("pvb_nm2", pvb)
+		fmt.Printf("PVB: %.1f nm²\n", pvb)
 	}
 
 	if *svgPath != "" {

@@ -14,10 +14,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"cardopc/internal/core"
 	"cardopc/internal/geom"
 	"cardopc/internal/litho"
+	"cardopc/internal/obs"
 )
 
 // Config tunes the tiled run.
@@ -73,6 +75,7 @@ func Run(targets []geom.Polygon, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer obs.Start("bigopc.run").End()
 	sim := litho.NewSimulator(cfg.Litho)
 	fov := float64(cfg.Litho.GridSize) * cfg.Litho.PitchNM
 
@@ -155,17 +158,40 @@ func Run(targets []geom.Polygon, cfg Config) (*Result, error) {
 	if workers > len(keys) {
 		workers = len(keys)
 	}
+	obs.G("bigopc.workers").Set(float64(workers))
+	obs.C("bigopc.tiles.total").Add(int64(len(keys)))
 	results := make([][]geom.Polygon, len(keys))
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = correctTile(sim, jobs[keys[i]], cfg)
+				key := keys[i]
+				obs.G("bigopc.workers.busy").Add(1)
+				span := obs.StartOn(obs.TrackTileWorker+w, "bigopc.tile")
+				t0 := time.Time{}
+				if span.Enabled() {
+					t0 = time.Now()
+				}
+				results[i] = correctTile(sim, jobs[key], cfg)
+				if span.Enabled() {
+					obs.Emit(&obs.TileDone{
+						Col:    key[0],
+						Row:    key[1],
+						Shapes: len(results[i]),
+						Worker: w,
+						DurMS:  time.Since(t0).Seconds() * 1e3,
+					})
+					span.End(obs.A("col", key[0]), obs.A("row", key[1]), obs.A("shapes", len(results[i])))
+				} else {
+					span.End()
+				}
+				obs.G("bigopc.workers.busy").Add(-1)
+				obs.C("bigopc.tiles.done").Inc()
 			}
-		}()
+		}(w)
 	}
 	for i := range keys {
 		idx <- i
@@ -178,6 +204,7 @@ func Run(targets []geom.Polygon, cfg Config) (*Result, error) {
 		res.MaskPolys = append(res.MaskPolys, polys...)
 		res.Shapes += len(polys)
 	}
+	obs.C("bigopc.shapes").Add(int64(res.Shapes))
 	return res, nil
 }
 

@@ -1,0 +1,186 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"cardopc/internal/obs"
+)
+
+// ObsOptions carries the observability/profiling flag values shared by
+// the command-line tools, plus the run identity stamped into -report.
+type ObsOptions struct {
+	// Trace is the -trace output path (Chrome trace-event JSON).
+	Trace string
+	// MetricsOut is the -metrics-out path (JSONL telemetry stream).
+	MetricsOut string
+	// Report is the -report path (end-of-run JSON summary).
+	Report string
+	// PprofAddr is the -pprof-addr listen address for /debug/pprof and
+	// the expvar metrics bridge.
+	PprofAddr string
+	// CPUProfile / MemProfile are the -cpuprofile / -memprofile paths
+	// (only registered by the tools that opt in).
+	CPUProfile string
+	MemProfile string
+
+	// Cmd and Clip identify the run in the report.
+	Cmd  string
+	Clip string
+}
+
+// RegisterObsFlags registers the observability flags on the default
+// flag set.
+func RegisterObsFlags(o *ObsOptions) {
+	flag.StringVar(&o.Trace, "trace", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
+	flag.StringVar(&o.MetricsOut, "metrics-out", "", "stream per-iteration telemetry records to this JSONL file")
+	flag.StringVar(&o.Report, "report", "", "write an end-of-run JSON report (results + metrics snapshot)")
+	flag.StringVar(&o.PprofAddr, "pprof-addr", "", "serve /debug/pprof and /debug/vars on this address for long runs (e.g. localhost:6060)")
+}
+
+// RegisterProfileFlags registers the offline-profiling flags (used by
+// the heavyweight standalone tools lithosim and iltrun).
+func RegisterProfileFlags(o *ObsOptions) {
+	flag.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+}
+
+// RunObs is the live observability session of one CLI run. Close
+// flushes and writes every requested artifact.
+type RunObs struct {
+	opts    ObsOptions
+	state   *obs.State
+	report  *obs.Report
+	metrics *os.File
+	cpu     *os.File
+	closed  bool
+}
+
+// StartObs installs the process-wide observability state requested by
+// the flags and starts any profiling/debug endpoints. It returns a
+// session whose Close must run before exit; with no flags set it is
+// inert (obs stays disabled, Close is a cheap no-op).
+func StartObs(o ObsOptions) (*RunObs, error) {
+	r := &RunObs{opts: o}
+
+	anyObs := o.Trace != "" || o.MetricsOut != "" || o.Report != "" || o.PprofAddr != ""
+	if anyObs {
+		st := &obs.State{Metrics: obs.NewRegistry()}
+		if o.Trace != "" {
+			st.Tracer = obs.NewTracer()
+		}
+		if o.MetricsOut != "" {
+			f, err := os.Create(o.MetricsOut)
+			if err != nil {
+				return nil, err
+			}
+			r.metrics = f
+			st.Telemetry = obs.NewTelemetry(f)
+		}
+		r.state = st
+		obs.Setup(st)
+	}
+	if o.Report != "" {
+		r.report = obs.NewReport(o.Cmd, o.Clip)
+	}
+	if o.PprofAddr != "" {
+		addr, err := obs.ServeDebug(o.PprofAddr)
+		if err != nil {
+			r.cleanup()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/debug/pprof/ (metrics at /debug/vars)\n", o.Cmd, addr)
+	}
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			r.cleanup()
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			r.cleanup()
+			return nil, err
+		}
+		r.cpu = f
+	}
+	return r, nil
+}
+
+// Report returns the end-of-run report (nil unless -report was given;
+// obs.Report methods are nil-safe, so call sites Set unconditionally).
+func (r *RunObs) Report() *obs.Report { return r.report }
+
+// cleanup tears down partial state when StartObs fails midway.
+func (r *RunObs) cleanup() {
+	obs.Setup(nil)
+	if r.metrics != nil {
+		_ = r.metrics.Close()
+	}
+}
+
+// Close stops profiling and writes every requested artifact: the trace
+// JSON, the flushed telemetry stream, the heap profile and the run
+// report. Idempotent, so it is safe both deferred and called
+// explicitly before exit.
+func (r *RunObs) Close() error {
+	if r == nil || r.closed {
+		return nil
+	}
+	r.closed = true
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	if r.cpu != nil {
+		pprof.StopCPUProfile()
+		keep(r.cpu.Close())
+	}
+	if r.opts.MemProfile != "" {
+		f, err := os.Create(r.opts.MemProfile)
+		keep(err)
+		if err == nil {
+			runtime.GC() // material for an accurate heap picture
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	if st := r.state; st != nil {
+		if r.opts.Trace != "" {
+			f, err := os.Create(r.opts.Trace)
+			keep(err)
+			if err == nil {
+				keep(st.Tracer.WriteJSON(f))
+				keep(f.Close())
+			}
+		}
+		if st.Telemetry != nil {
+			keep(st.Telemetry.Flush())
+			keep(r.metrics.Close())
+		}
+		if r.report != nil {
+			f, err := os.Create(r.opts.Report)
+			keep(err)
+			if err == nil {
+				keep(r.report.WriteJSON(f, st.Metrics))
+				keep(f.Close())
+			}
+		}
+		obs.Setup(nil)
+	} else if r.report != nil {
+		// -report without any other sink still works: empty metrics.
+		f, err := os.Create(r.opts.Report)
+		keep(err)
+		if err == nil {
+			keep(r.report.WriteJSON(f, nil))
+			keep(f.Close())
+		}
+	}
+	return firstErr
+}

@@ -2,10 +2,12 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"cardopc/internal/geom"
 	"cardopc/internal/litho"
 	"cardopc/internal/metrics"
+	"cardopc/internal/obs"
 	"cardopc/internal/raster"
 )
 
@@ -61,6 +63,7 @@ func (o *Optimizer) Mask() *Mask { return o.mask }
 // Run executes the configured number of correction iterations and returns
 // the result.
 func (o *Optimizer) Run() *Result {
+	defer obs.Start("opc.run").End(obs.A("iterations", o.cfg.Iterations))
 	res := &Result{Mask: o.mask}
 	for it := 0; it < o.cfg.Iterations; it++ {
 		sum := o.Step(it)
@@ -74,15 +77,24 @@ func (o *Optimizer) Run() *Result {
 // distance decayed per the schedule, and returns Σ|EPE| over all control
 // points before the move.
 func (o *Optimizer) Step(it int) float64 {
+	span := obs.Start("opc.step")
+	t0 := time.Time{}
+	if span.Enabled() {
+		t0 = time.Now()
+	}
 	step := o.cfg.stepAt(it)
 
 	// ③ Connect control points and ④ simulate.
+	rsp := obs.Start("opc.rasterize")
 	o.mask.RasterizeInto(o.field, o.cfg.SamplesPerSeg, 4)
+	rsp.End()
 	aerial := o.sim.Aerial(o.field)
 	ith := o.sim.Config().Threshold
 
 	// ⑤ Estimate edge displacement per control point and move.
 	total := 0.0
+	maxMove := 0.0
+	clamped, points := 0, 0
 	for _, s := range o.mask.Shapes {
 		if s.SRAF {
 			continue
@@ -90,12 +102,34 @@ func (o *Optimizer) Step(it int) float64 {
 		moves := o.shapeMoves(s, aerial, ith, step)
 		smoothed := smoothMoves(moves, o.cfg.SmoothWindow)
 		for i := range s.Ctrl {
-			s.Ctrl[i] = clampDrift(s.Ctrl[i].Add(smoothed[i]), s.Anchor[i], o.cfg.MaxDrift)
+			p, hit := clampDrift(s.Ctrl[i].Add(smoothed[i]), s.Anchor[i], o.cfg.MaxDrift)
+			if hit {
+				clamped++
+			}
+			if d := p.Sub(s.Ctrl[i]).Norm(); d > maxMove {
+				maxMove = d
+			}
+			s.Ctrl[i] = p
 		}
+		points += len(s.Ctrl)
 		for _, e := range s.epe {
 			total += math.Abs(e)
 		}
 	}
+	obs.C("opc.iterations").Inc()
+	obs.C("opc.moves.clamped").Add(int64(clamped))
+	obs.G("opc.loss").Set(total)
+	if span.Enabled() {
+		obs.Emit(&obs.OPCIter{
+			Iter:      it,
+			Loss:      total,
+			MaxMoveNM: maxMove,
+			Clamped:   clamped,
+			Points:    points,
+			DurMS:     time.Since(t0).Seconds() * 1e3,
+		})
+	}
+	span.End(obs.A("iter", it), obs.A("loss", total))
 	return total
 }
 
@@ -213,16 +247,17 @@ func binomialWeights(w int) []float64 {
 }
 
 // clampDrift projects p back onto the ball of radius maxDrift around
-// anchor. maxDrift <= 0 disables the cap.
-func clampDrift(p, anchor geom.Pt, maxDrift float64) geom.Pt {
+// anchor and reports whether the cap bit. maxDrift <= 0 disables the
+// cap.
+func clampDrift(p, anchor geom.Pt, maxDrift float64) (geom.Pt, bool) {
 	if maxDrift <= 0 {
-		return p
+		return p, false
 	}
 	d := p.Sub(anchor)
 	if n := d.Norm(); n > maxDrift {
-		return anchor.Add(d.Mul(maxDrift / n))
+		return anchor.Add(d.Mul(maxDrift / n)), true
 	}
-	return p
+	return p, false
 }
 
 // Optimize is the convenience entry point: build an optimizer and run it.

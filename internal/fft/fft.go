@@ -13,6 +13,8 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+
+	"cardopc/internal/obs"
 )
 
 // Pow2Ceil returns the smallest power of two >= n (and at least 1).
@@ -178,11 +180,15 @@ func parallelRows(h int, fn func(y int)) {
 
 // Forward2 computes the in-place forward 2-D DFT of g (rows then columns),
 // parallelised over goroutines.
-func Forward2(g *Grid2) { transform2(g, false) }
+func Forward2(g *Grid2) {
+	obs.C("fft.forward2").Inc()
+	transform2(g, false)
+}
 
 // Inverse2 computes the in-place inverse 2-D DFT of g with 1/(W·H)
 // normalisation.
 func Inverse2(g *Grid2) {
+	obs.C("fft.inverse2").Inc()
 	transform2(g, true)
 	n := complex(float64(g.W*g.H), 0)
 	for i := range g.Data {

@@ -7,8 +7,10 @@ package ilt
 
 import (
 	"math"
+	"time"
 
 	"cardopc/internal/litho"
+	"cardopc/internal/obs"
 	"cardopc/internal/optim"
 	"cardopc/internal/raster"
 )
@@ -101,6 +103,7 @@ func (s *Solver) maskFromTheta() *raster.Field {
 
 // Run optimises the latent mask and returns the result.
 func (s *Solver) Run() *Result {
+	defer obs.Start("ilt.run").End(obs.A("iterations", s.cfg.Iterations))
 	opt := optim.NewAdam(s.cfg.LR)
 	ith := s.sim.Config().Threshold
 	beta := s.cfg.ResistSteepness
@@ -108,6 +111,11 @@ func (s *Solver) Run() *Result {
 
 	grad := make([]float64, len(s.theta))
 	for it := 0; it < s.cfg.Iterations; it++ {
+		span := obs.Start("ilt.step")
+		t0 := time.Time{}
+		if span.Enabled() {
+			t0 = time.Now()
+		}
 		mask := s.maskFromTheta()
 		aerial, cache := s.sim.AerialWithCache(mask)
 
@@ -130,6 +138,12 @@ func (s *Solver) Run() *Result {
 			grad[i] = (gm[i] + s.cfg.AreaPenalty) * s.cfg.MaskSteepness * m * (1 - m)
 		}
 		opt.Step(s.theta, grad)
+		obs.C("ilt.iterations").Inc()
+		obs.G("ilt.loss").Set(loss)
+		if span.Enabled() {
+			obs.Emit(&obs.ILTIter{Iter: it, Loss: loss, DurMS: time.Since(t0).Seconds() * 1e3})
+		}
+		span.End(obs.A("iter", it), obs.A("loss", loss))
 	}
 
 	final := s.maskFromTheta()

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"cardopc/internal/fft"
+	"cardopc/internal/obs"
 	"cardopc/internal/raster"
 )
 
@@ -20,6 +21,8 @@ type ForwardCache struct {
 // coherent amplitudes for a subsequent GradientFromCache call. The dose
 // scaling is applied to the intensity exactly as in Aerial.
 func (s *Simulator) AerialWithCache(mask *raster.Field) (*raster.Field, *ForwardCache) {
+	defer obs.Start("litho.aerial_cached").End()
+	obs.C("litho.aerial.count").Inc()
 	maskFreq := MaskFreq(mask)
 	n := s.cfg.GridSize
 	out := raster.NewField(s.grid)
@@ -37,6 +40,7 @@ func (s *Simulator) AerialWithCache(mask *raster.Field) (*raster.Field, *Forward
 			defer wg.Done()
 			acc := make([]float64, n*n)
 			for ki := w; ki < len(s.kernels); ki += workers {
+				ksp := obs.StartOn(obs.TrackLithoWorker+w, "litho.kernel")
 				amp := fft.NewGrid2(n, n)
 				fft.ConvolveInto(amp, maskFreq, s.kernels[ki])
 				cache.amps[ki] = amp
@@ -45,6 +49,7 @@ func (s *Simulator) AerialWithCache(mask *raster.Field) (*raster.Field, *Forward
 					re, im := real(v), imag(v)
 					acc[i] += wk * (re*re + im*im)
 				}
+				ksp.End()
 			}
 			accs[w] = acc
 		}(w)
@@ -77,6 +82,8 @@ func (s *Simulator) AerialWithCache(mask *raster.Field) (*raster.Field, *Forward
 // where corr is cross-correlation, evaluated in the frequency domain as
 // IFFT( FFT(G ⊙ A_k) ⊙ conj(H_k) ).
 func (s *Simulator) GradientFromCache(cache *ForwardCache, G []float64) []float64 {
+	defer obs.Start("litho.gradient").End()
+	obs.C("litho.gradient.count").Inc()
 	n := s.cfg.GridSize
 	grad := make([]float64, n*n)
 
@@ -93,6 +100,7 @@ func (s *Simulator) GradientFromCache(cache *ForwardCache, G []float64) []float6
 			buf := fft.NewGrid2(n, n)
 			acc := make([]float64, n*n)
 			for ki := w; ki < len(s.kernels); ki += workers {
+				ksp := obs.StartOn(obs.TrackLithoWorker+w, "litho.grad_kernel")
 				amp := cache.amps[ki]
 				for i := range buf.Data {
 					buf.Data[i] = complex(G[i], 0) * amp.Data[i]
@@ -108,6 +116,7 @@ func (s *Simulator) GradientFromCache(cache *ForwardCache, G []float64) []float6
 				for i, v := range buf.Data {
 					acc[i] += wk * real(v)
 				}
+				ksp.End()
 			}
 			accs[w] = acc
 		}(w)

@@ -11,6 +11,7 @@ import (
 
 	"cardopc/internal/core"
 	"cardopc/internal/geom"
+	"cardopc/internal/obs"
 	"cardopc/internal/rtree"
 )
 
@@ -169,6 +170,7 @@ func (c *Checker) refreshShape(i int) {
 
 // Check runs all four rules and returns every violation found.
 func (c *Checker) Check() []Violation {
+	defer obs.Start("mrc.check").End()
 	var out []Violation
 	for i := range c.mask.Shapes {
 		out = append(out, c.checkShape(i)...)

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"cardopc/internal/geom"
+	"cardopc/internal/obs"
 )
 
 // ResolveResult summarises one resolving run.
@@ -54,6 +55,7 @@ func (c *Checker) Resolve(opt ResolveOptions) ResolveResult {
 	if len(opt.Trials) == 0 {
 		opt.Trials = []float64{2, 4, 8, 12}
 	}
+	span := obs.Start("mrc.resolve")
 	res := ResolveResult{}
 	vs := c.Check()
 	res.Before = len(vs)
@@ -90,6 +92,10 @@ func (c *Checker) Resolve(opt ResolveOptions) ResolveResult {
 		vs = c.Check()
 	}
 	res.After = len(vs)
+	obs.C("mrc.violations.found").Add(int64(res.Before))
+	obs.C("mrc.violations.resolved").Add(int64(res.Before - res.After))
+	obs.C("mrc.shapes.removed").Add(int64(res.Removed))
+	span.End(obs.A("before", res.Before), obs.A("after", res.After), obs.A("passes", res.Passes))
 	return res
 }
 

@@ -1,0 +1,68 @@
+package obs
+
+import "testing"
+
+// TestDisabledPathAllocs pins the contract the hot loops rely on:
+// with no State installed, every instrumentation call is 0 allocs/op.
+// A regression here means the hooks in litho/core/bigopc start
+// allocating inside kernel and optimizer loops.
+func TestDisabledPathAllocs(t *testing.T) {
+	Setup(nil)
+	// Emitters construct records behind an Enabled() guard (building a
+	// Record always costs an allocation), so the disabled contract for
+	// Emit is on the call, not the literal.
+	rec := &OPCIter{Iter: 1, Loss: 2}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"span", func() { Start("litho.aerial").End() }},
+		{"span_on_track", func() { StartOn(TrackLithoWorker, "litho.kernel").End() }},
+		{"counter", func() { C("fft.forward2").Inc() }},
+		{"counter_add", func() { C("bigopc.shapes").Add(7) }},
+		{"gauge", func() { G("bigopc.workers.busy").Add(1) }},
+		{"histogram", func() { H("opc.step.ms").Observe(3.5) }},
+		{"emit", func() { Emit(rec) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if n := testing.AllocsPerRun(1000, tc.fn); n != 0 {
+				t.Errorf("disabled %s allocates %.1f allocs/op, want 0", tc.name, n)
+			}
+		})
+	}
+}
+
+// BenchmarkSpanDisabled measures the raw cost of a disabled span —
+// the price every instrumented hot path pays unconditionally.
+func BenchmarkSpanDisabled(b *testing.B) {
+	Setup(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Start("bench").End()
+	}
+}
+
+// BenchmarkSpanEnabled measures a live span (trace append + histogram
+// observe) for comparison.
+func BenchmarkSpanEnabled(b *testing.B) {
+	st := &State{Metrics: NewRegistry(), Tracer: NewTracer()}
+	Setup(st)
+	defer Setup(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Start("bench").End()
+	}
+}
+
+// BenchmarkCounterEnabled measures a live counter increment through
+// the registry lookup.
+func BenchmarkCounterEnabled(b *testing.B) {
+	Setup(&State{Metrics: NewRegistry()})
+	defer Setup(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		C("bench.counter").Inc()
+	}
+}

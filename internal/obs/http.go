@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar name, which panics on re-publish.
+var publishOnce sync.Once
+
+// publishExpvar bridges the process-wide metrics registry into expvar:
+// /debug/vars gains a "cardopc" object holding the live snapshot.
+// The closure re-reads the installed registry on every request, so it
+// tracks Setup/teardown.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("cardopc", expvar.Func(func() any {
+			return Metrics().Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP listener for long runs: net/http/pprof
+// under /debug/pprof/ and the expvar bridge under /debug/vars. It
+// returns the bound address (useful with ":0") or an error if the
+// listener cannot bind. The server runs until the process exits —
+// debug listeners are deliberately not part of run shutdown.
+func ServeDebug(addr string) (string, error) {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		// The listener lives for the whole process; Serve only returns
+		// on listener close, which never happens here.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 1.1, 5, 7, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	b := h.Buckets()
+	if len(b) != 4 {
+		t.Fatalf("got %d buckets, want 4", len(b))
+	}
+	// Upper bounds are inclusive (first bound >= v wins).
+	wantCounts := []int64{2, 2, 2, 2} // <=1: 0.5,1; <=5: 1.1,5; <=10: 7,10; +Inf: 11,1000
+	for i, bc := range b {
+		if bc.Count != wantCounts[i] {
+			t.Errorf("bucket %d (le %v): count %d, want %d", i, bc.UpperBound, bc.Count, wantCounts[i])
+		}
+	}
+	if !math.IsInf(b[3].UpperBound, 1) {
+		t.Errorf("last bucket bound %v, want +Inf", b[3].UpperBound)
+	}
+	if h.Count() != 8 {
+		t.Errorf("count %d, want 8", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.1+5+7+10+11+1000; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum %v, want %v", got, want)
+	}
+}
+
+func TestHistogramUnsortedBuckets(t *testing.T) {
+	h := newHistogram([]float64{10, 1, 5})
+	h.Observe(2)
+	b := h.Buckets()
+	if b[0].UpperBound != 1 || b[1].UpperBound != 5 || b[2].UpperBound != 10 {
+		t.Fatalf("bounds not sorted: %+v", b)
+	}
+	if b[1].Count != 1 {
+		t.Errorf("value 2 landed in the wrong bucket: %+v", b)
+	}
+}
+
+// TestCounterConcurrent exercises the lock-free paths under the race
+// detector: many goroutines hammer the same registry names.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", TimeBucketsMS).Observe(float64(i % 7))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("g").Value(); got != workers*per {
+		t.Errorf("gauge = %v, want %v", got, workers*per)
+	}
+	if got := r.Histogram("h", nil).Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(3)
+	r.Gauge("x").Set(1)
+	r.Histogram("x", nil).Observe(1)
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	snap := r.Snapshot()
+	if snap.Counters == nil || len(snap.Counters) != 0 {
+		t.Fatalf("nil registry snapshot: %+v", snap)
+	}
+
+	// Disabled process-wide state: every entry point must no-op.
+	Setup(nil)
+	C("x").Inc()
+	G("x").Set(2)
+	H("x").Observe(2)
+	Emit(&OPCIter{Iter: 1})
+	sp := Start("x")
+	if sp.Enabled() {
+		t.Fatal("span enabled with obs disabled")
+	}
+	sp.End()
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tiles").Add(4)
+	r.Gauge("busy").Set(2.5)
+	r.Histogram("ms", []float64{1, 10}).Observe(3)
+	snap := r.Snapshot()
+	if snap.Counters["tiles"] != 4 {
+		t.Errorf("counter snapshot: %+v", snap.Counters)
+	}
+	if snap.Gauges["busy"] != 2.5 {
+		t.Errorf("gauge snapshot: %+v", snap.Gauges)
+	}
+	hs := snap.Histograms["ms"]
+	if hs.Count != 1 || hs.Buckets["10"] != 1 || hs.Buckets["+Inf"] != 0 {
+		t.Errorf("histogram snapshot: %+v", hs)
+	}
+}

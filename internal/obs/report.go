@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Report accumulates the end-of-run summary the CLIs write under
+// -report: run identity, wall time, caller-supplied result values
+// (EPE, PVB, L2, …) and a final metrics snapshot. The JSON is stable
+// (sorted value keys) so EXPERIMENTS.md tooling can diff runs.
+type Report struct {
+	mu sync.Mutex
+
+	cmd     string
+	clip    string
+	started time.Time
+	values  map[string]any
+}
+
+// NewReport starts a report for one CLI run.
+func NewReport(cmd, clip string) *Report {
+	return &Report{
+		cmd:     cmd,
+		clip:    clip,
+		started: time.Now(),
+		values:  map[string]any{},
+	}
+}
+
+// Set records one result value. Nil-safe, so CLIs can call it
+// unconditionally whether or not -report was given.
+func (r *Report) Set(key string, v any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.values[key] = v
+	r.mu.Unlock()
+}
+
+// reportJSON is the serialised shape.
+type reportJSON struct {
+	Cmd       string         `json:"cmd"`
+	Clip      string         `json:"clip,omitempty"`
+	StartedAt string         `json:"started_at"`
+	WallMS    float64        `json:"wall_ms"`
+	Values    map[string]any `json:"values"`
+	Metrics   Snapshot       `json:"metrics"`
+}
+
+// WriteJSON finalises the report against the given registry snapshot
+// (a nil registry contributes empty metrics) and renders indented
+// JSON. Nil-safe: a nil report writes nothing.
+func (r *Report) WriteJSON(w io.Writer, reg *Registry) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := reportJSON{
+		Cmd:       r.cmd,
+		Clip:      r.clip,
+		StartedAt: r.started.UTC().Format(time.RFC3339),
+		WallMS:    time.Since(r.started).Seconds() * 1e3,
+		Values:    make(map[string]any, len(r.values)),
+	}
+	keys := make([]string, 0, len(r.values))
+	for k := range r.values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic marshal order inside the map is json's, but copying keeps the lock short
+	for _, k := range keys {
+		out.Values[k] = r.values[k]
+	}
+	r.mu.Unlock()
+	out.Metrics = reg.Snapshot()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

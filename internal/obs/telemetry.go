@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Record is one structured telemetry datum. Kind returns the value of
+// the record's "t" discriminator field so streams stay self-describing
+// when several record types interleave; Emit stamps it via the
+// embedded Tag before marshalling.
+type Record interface {
+	Kind() string
+	setKind(string)
+}
+
+// Tag is the "t" discriminator every record embeds.
+type Tag struct {
+	T string `json:"t"`
+}
+
+func (t *Tag) setKind(s string) { t.T = s }
+
+// OPCIter is one CardOPC optimizer iteration (core.Optimizer.Step).
+type OPCIter struct {
+	Tag
+	// Iter is the zero-based iteration index.
+	Iter int `json:"iter"`
+	// Loss is Σ|EPE| over all control-point probes (nm).
+	Loss float64 `json:"loss"`
+	// MaxMoveNM is the largest control-point displacement applied.
+	MaxMoveNM float64 `json:"max_move_nm"`
+	// Clamped counts control points clipped by the MaxDrift ball.
+	Clamped int `json:"clamped"`
+	// Points is the number of control points visited.
+	Points int `json:"points"`
+	// DurMS is the wall time of the iteration.
+	DurMS float64 `json:"dur_ms"`
+}
+
+// Kind implements Record.
+func (*OPCIter) Kind() string { return "opc.iter" }
+
+// ILTIter is one pixel-ILT gradient step (ilt.Solver.Run).
+type ILTIter struct {
+	Tag
+	// Iter is the zero-based iteration index.
+	Iter int `json:"iter"`
+	// Loss is the sigmoid-resist L2 loss.
+	Loss float64 `json:"loss"`
+	// DurMS is the wall time of the iteration.
+	DurMS float64 `json:"dur_ms"`
+}
+
+// Kind implements Record.
+func (*ILTIter) Kind() string { return "ilt.iter" }
+
+// TileDone is one finished bigopc tile.
+type TileDone struct {
+	Tag
+	// Col and Row locate the tile in the layout grid.
+	Col int `json:"col"`
+	Row int `json:"row"`
+	// Shapes is the number of owned shapes corrected.
+	Shapes int `json:"shapes"`
+	// Worker is the worker index that processed the tile.
+	Worker int `json:"worker"`
+	// DurMS is the wall time of the tile.
+	DurMS float64 `json:"dur_ms"`
+}
+
+// Kind implements Record.
+func (*TileDone) Kind() string { return "bigopc.tile" }
+
+// Telemetry streams records as JSON Lines: one JSON object per line,
+// in emit order. Safe for concurrent emitters.
+type Telemetry struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewTelemetry wraps w in a buffered JSONL encoder. Call Flush before
+// closing the underlying writer.
+func NewTelemetry(w io.Writer) *Telemetry {
+	buf := bufio.NewWriter(w)
+	return &Telemetry{buf: buf, enc: json.NewEncoder(buf)}
+}
+
+// Emit appends one record. Nil-safe; marshal errors are dropped (the
+// telemetry stream must never fail the run it observes).
+func (t *Telemetry) Emit(rec Record) {
+	if t == nil {
+		return
+	}
+	rec.setKind(rec.Kind())
+	t.mu.Lock()
+	_ = t.enc.Encode(rec) // Encode appends the newline JSONL needs
+	t.mu.Unlock()
+}
+
+// Flush drains the buffer to the underlying writer. Nil-safe.
+func (t *Telemetry) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.buf.Flush()
+}

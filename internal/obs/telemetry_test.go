@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTelemetryJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tel := NewTelemetry(&buf)
+	tel.Emit(&OPCIter{Iter: 0, Loss: 42.5, MaxMoveNM: 1.25, Clamped: 3, Points: 64, DurMS: 10})
+	tel.Emit(&ILTIter{Iter: 1, Loss: 9.5, DurMS: 2})
+	tel.Emit(&TileDone{Col: 2, Row: 1, Shapes: 7, Worker: 0, DurMS: 33})
+	if err := tel.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	wantKinds := []string{"opc.iter", "ilt.iter", "bigopc.tile"}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if m["t"] != wantKinds[i] {
+			t.Errorf("line %d kind %v, want %s", i, m["t"], wantKinds[i])
+		}
+	}
+	var it OPCIter
+	if err := json.Unmarshal([]byte(lines[0]), &it); err != nil {
+		t.Fatal(err)
+	}
+	if it.Loss != 42.5 || it.Clamped != 3 || it.MaxMoveNM != 1.25 {
+		t.Errorf("round-trip mismatch: %+v", it)
+	}
+}
+
+func TestTelemetryConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tel := NewTelemetry(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tel.Emit(&TileDone{Col: w, Row: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tel.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("interleaved write corrupted line %d: %v", n, err)
+		}
+		n++
+	}
+	if n != 200 {
+		t.Fatalf("got %d lines, want 200", n)
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("opc.iterations").Add(12)
+	r := NewReport("cardopc", "V3")
+	r.Set("epe_sum_nm", 17.25)
+	r.Set("pvb_nm2", 1024.0)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Cmd     string         `json:"cmd"`
+		Clip    string         `json:"clip"`
+		WallMS  float64        `json:"wall_ms"`
+		Values  map[string]any `json:"values"`
+		Metrics Snapshot       `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Cmd != "cardopc" || doc.Clip != "V3" {
+		t.Errorf("identity: %+v", doc)
+	}
+	if doc.Values["epe_sum_nm"] != 17.25 {
+		t.Errorf("values: %+v", doc.Values)
+	}
+	if doc.Metrics.Counters["opc.iterations"] != 12 {
+		t.Errorf("metrics: %+v", doc.Metrics)
+	}
+
+	// Nil report and nil registry must both be safe.
+	var nilR *Report
+	if err := nilR.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	nilR.Set("x", 1)
+}
+
+// TestServeDebug boots the debug listener on an ephemeral port and
+// checks the expvar bridge exposes the live registry.
+func TestServeDebug(t *testing.T) {
+	st := &State{Metrics: NewRegistry()}
+	Setup(st)
+	defer Setup(nil)
+	st.Metrics.Counter("bigopc.tiles.done").Add(5)
+
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Cardopc Snapshot `json:"cardopc"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Cardopc.Counters["bigopc.tiles.done"] != 5 {
+		t.Errorf("expvar bridge snapshot: %+v", doc.Cardopc)
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Track identifiers map to Chrome trace-event thread ids ("tid"), so
+// concurrent work lands on separate rows in the viewer. The main
+// correction flow runs on TrackMain; worker fan-outs offset their
+// worker index from the bases below. Tile workers and litho kernel
+// workers overlap when bigopc parallelises tiles — the viewer still
+// loads such traces, it just nests those rows by time containment.
+const (
+	// TrackMain is the single-threaded pipeline flow.
+	TrackMain = 0
+	// TrackLithoWorker is the first litho kernel-worker row.
+	TrackLithoWorker = 1
+	// TrackTileWorker is the first bigopc tile-worker row.
+	TrackTileWorker = 1000
+)
+
+// Arg attaches one key/value to a span's trace event.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// A constructs an Arg (shorthand for call sites).
+func A(key string, val any) Arg { return Arg{Key: key, Val: val} }
+
+// traceEvent is one Chrome trace-event "complete" record.
+type traceEvent struct {
+	name  string
+	track int
+	start time.Duration // since tracer epoch
+	dur   time.Duration
+	args  []Arg
+}
+
+// Tracer collects spans and exports them in the Chrome trace-event
+// JSON format understood by chrome://tracing and Perfetto.
+type Tracer struct {
+	mu     sync.Mutex
+	events []traceEvent
+	epoch  time.Time
+	now    func() time.Time // test hook; defaults to time.Now
+}
+
+// NewTracer returns an empty tracer whose epoch is now.
+func NewTracer() *Tracer {
+	t := &Tracer{now: time.Now}
+	t.epoch = t.now()
+	return t
+}
+
+func (t *Tracer) add(name string, track int, start time.Time, dur time.Duration, args []Arg) {
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		name:  name,
+		track: track,
+		start: start.Sub(t.epoch),
+		dur:   dur,
+		args:  args,
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events (0 for nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON renders the collected events as a Chrome trace-event file:
+// the object form {"traceEvents": [...]} with complete ("X") events,
+// timestamps in microseconds. Nil tracers write an empty trace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	var events []traceEvent
+	if t != nil {
+		t.mu.Lock()
+		events = append(events, t.events...)
+		t.mu.Unlock()
+	}
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if err := writeEvent(w, e, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// writeEvent renders one complete event. Fields are emitted in a fixed
+// order so output is stable for golden tests.
+func writeEvent(w io.Writer, e traceEvent, sep string) error {
+	nameJSON, err := json.Marshal(e.name)
+	if err != nil {
+		return err
+	}
+	argsJSON := []byte("{}")
+	if len(e.args) > 0 {
+		m := make(map[string]any, len(e.args))
+		for _, a := range e.args {
+			m[a.Key] = a.Val
+		}
+		if argsJSON, err = json.Marshal(m); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, `{"name":%s,"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"args":%s}%s`,
+		nameJSON, e.track, trimFloat(micros(e.start)), trimFloat(micros(e.dur)), argsJSON, sep)
+	return err
+}
+
+// micros converts a duration to trace-event microseconds.
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// trimFloat renders v with the shortest round-trip representation.
+func trimFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Span is one timed region. The zero Span (returned when obs is
+// disabled) is inert: End is a no-op. Spans are values — copy freely,
+// end once.
+type Span struct {
+	st    *State
+	name  string
+	track int
+	t0    time.Time
+}
+
+// Start opens a span on the main track against the process-wide state.
+func Start(name string) Span { return StartOn(TrackMain, name) }
+
+// StartOn opens a span on an explicit track (worker row) against the
+// process-wide state. Disabled instrumentation returns the zero Span
+// without reading the clock.
+func StartOn(track int, name string) Span {
+	st := global.Load()
+	if st == nil {
+		return Span{}
+	}
+	return st.span(track, name)
+}
+
+// span opens a span against an explicit state.
+func (st *State) span(track int, name string) Span {
+	if st == nil || (st.Tracer == nil && st.Metrics == nil) {
+		return Span{}
+	}
+	now := time.Now
+	if st.Tracer != nil {
+		now = st.Tracer.now
+	}
+	return Span{st: st, name: name, track: track, t0: now()}
+}
+
+// Enabled reports whether the span is live (recording anywhere).
+func (s Span) Enabled() bool { return s.st != nil }
+
+// End closes the span: it appends a trace event (when tracing) and
+// records the duration into the histogram "span.<name>.ms" (when
+// metrics are on). Optional args attach to the trace event only.
+// No-op for the zero Span.
+func (s Span) End(args ...Arg) {
+	if s.st == nil {
+		return
+	}
+	var dur time.Duration
+	if tr := s.st.Tracer; tr != nil {
+		dur = tr.now().Sub(s.t0)
+		tr.add(s.name, s.track, s.t0, dur, args)
+	} else {
+		dur = time.Since(s.t0)
+	}
+	if m := s.st.Metrics; m != nil {
+		m.Histogram("span."+s.name+".ms", TimeBucketsMS).Observe(dur.Seconds() * 1e3)
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeClock yields deterministic timestamps: each call advances 1 ms.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func newFakeTracer() *Tracer {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr := &Tracer{now: clk.now}
+	tr.epoch = tr.now()
+	return tr
+}
+
+// TestTraceGolden pins the exact Chrome trace-event bytes we emit
+// against testdata/trace_golden.json. Regenerate deliberately with
+// UPDATE_GOLDEN=1 go test ./internal/obs -run TestTraceGolden.
+func TestTraceGolden(t *testing.T) {
+	st := &State{Tracer: newFakeTracer()}
+
+	outer := st.span(TrackMain, "opc.step")
+	inner := st.span(TrackLithoWorker, "litho.kernel")
+	inner.End(A("kernel", 3))
+	outer.End(A("iter", 0), A("loss", 12.5))
+
+	var buf bytes.Buffer
+	if err := st.Tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// And the golden bytes must be what trace viewers expect: valid
+	// JSON with a traceEvents array of complete events.
+	assertTraceShape(t, buf.Bytes(), 2)
+}
+
+// assertTraceShape validates trace-event JSON structurally: the object
+// form, ph "X" events, with name/ts/dur present.
+func assertTraceShape(t *testing.T, data []byte, wantEvents int) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != wantEvents {
+		t.Fatalf("trace holds %d events, want %d", len(doc.TraceEvents), wantEvents)
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Name == "" || e.Ts == nil || e.Dur == nil {
+			t.Errorf("event %d malformed: %+v", i, e)
+		}
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	st := &State{Tracer: NewTracer()}
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				st.span(TrackLithoWorker+w, "work").End()
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if got := st.Tracer.Len(); got != 400 {
+		t.Fatalf("recorded %d events, want 400", got)
+	}
+	var buf bytes.Buffer
+	if err := st.Tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	assertTraceShape(t, buf.Bytes(), 400)
+}
+
+func TestNilTracerWritesEmptyTrace(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	assertTraceShape(t, buf.Bytes(), 0)
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer must report zero events")
+	}
+}
+
+// TestSpanFeedsHistogram checks the span→metrics coupling: ending a
+// span records its duration under span.<name>.ms.
+func TestSpanFeedsHistogram(t *testing.T) {
+	st := &State{Metrics: NewRegistry(), Tracer: newFakeTracer()}
+	st.span(TrackMain, "litho.aerial").End()
+	h := st.Metrics.Histogram("span.litho.aerial.ms", nil)
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count())
+	}
+	// The fake clock advances exactly 1 ms between start and end.
+	if got := h.Sum(); got != 1 {
+		t.Errorf("recorded duration %v ms, want 1", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"cardopc/internal/geom"
 	"cardopc/internal/litho"
 	"cardopc/internal/metrics"
+	"cardopc/internal/obs"
 	"cardopc/internal/pw"
 	"cardopc/internal/raster"
 )
@@ -88,6 +89,7 @@ func DefaultConfig() Config {
 
 // Verify images the mask at all three process corners and runs every check.
 func Verify(proc *litho.Process, maskPolys, targets []geom.Polygon, cfg Config) []Defect {
+	span := obs.Start("orc.verify")
 	g := proc.Nominal.Grid()
 	mask := raster.Rasterize(g, maskPolys, 4)
 	mf := litho.MaskFreq(mask)
@@ -97,6 +99,10 @@ func Verify(proc *litho.Process, maskPolys, targets []geom.Polygon, cfg Config) 
 	out = append(out, verifyCorner("nominal", nomA, proc.Nominal.Config().Threshold, targets, cfg)...)
 	out = append(out, verifyCorner("inner", innerA, proc.Inner.Config().Threshold, targets, cfg)...)
 	out = append(out, verifyCorner("outer", outerA, proc.Outer.Config().Threshold, targets, cfg)...)
+	for _, d := range out {
+		obs.C("orc.defects." + d.Kind.String()).Inc()
+	}
+	span.End(obs.A("defects", len(out)))
 	return out
 }
 

@@ -1,0 +1,169 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DefaultHistoryDir is the append-only per-commit snapshot directory at
+// the module root. `benchdiff record -history-dir` and `make
+// bench-record` drop one BENCH_<shortsha>.json here per PR, giving the
+// `trend` subcommand a performance timeline to render.
+const DefaultHistoryDir = "bench_history"
+
+// HistorySnapshot is one per-commit record in the bench history: a full
+// baseline plus the commit it was recorded at.
+type HistorySnapshot struct {
+	Baseline
+	// Commit is the short git SHA the snapshot was recorded at.
+	Commit string `json:"commit"`
+	// RecordedAt is the RFC 3339 UTC record time.
+	RecordedAt string `json:"recorded_at"`
+}
+
+// NewHistorySnapshot stamps a baseline with its commit and record time.
+func NewHistorySnapshot(base *Baseline, commit string, at time.Time) *HistorySnapshot {
+	return &HistorySnapshot{
+		Baseline:   *base,
+		Commit:     commit,
+		RecordedAt: at.UTC().Format(time.RFC3339),
+	}
+}
+
+// snapshotName validates commits destined for file names: short or full
+// git SHAs only, so the history directory cannot be escaped.
+var snapshotName = regexp.MustCompile(`^[0-9a-f]{4,40}$`)
+
+// Save writes the snapshot as BENCH_<commit>.json under dir (created if
+// missing) and returns the file path. Re-recording the same commit
+// overwrites its snapshot; other snapshots are never touched — the
+// directory is append-only by construction.
+func (s *HistorySnapshot) Save(dir string) (string, error) {
+	if !snapshotName.MatchString(s.Commit) {
+		return "", fmt.Errorf("perf: commit %q is not a git SHA", s.Commit)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("perf: creating history dir: %w", err)
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("perf: encoding snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join(dir, "BENCH_"+s.Commit+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("perf: writing snapshot: %w", err)
+	}
+	return path, nil
+}
+
+// LoadHistory reads every BENCH_*.json snapshot under dir, ordered
+// oldest-first by record time (commit as tie-break). A missing
+// directory is an empty history, not an error.
+func LoadHistory(dir string) ([]*HistorySnapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("perf: reading history dir: %w", err)
+	}
+	var snaps []*HistorySnapshot
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var s HistorySnapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, fmt.Errorf("perf: parsing snapshot %s: %w", name, err)
+		}
+		if s.Version != BaselineVersion {
+			return nil, fmt.Errorf("perf: snapshot %s has schema version %d, want %d", name, s.Version, BaselineVersion)
+		}
+		if s.Commit == "" {
+			s.Commit = strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json")
+		}
+		snaps = append(snaps, &s)
+	}
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].RecordedAt != snaps[j].RecordedAt {
+			return snaps[i].RecordedAt < snaps[j].RecordedAt
+		}
+		return snaps[i].Commit < snaps[j].Commit
+	})
+	return snaps, nil
+}
+
+// WriteTrend renders the history as a markdown table: one row per
+// benchmark, one column per snapshot (oldest first), cells showing the
+// chosen unit's median plus the change against the previous snapshot.
+func WriteTrend(w io.Writer, snaps []*HistorySnapshot, unit string) error {
+	if len(snaps) == 0 {
+		_, err := fmt.Fprintf(w, "No snapshots recorded (run `benchdiff record -history-dir %s`).\n", DefaultHistoryDir)
+		return err
+	}
+	// Union of benchmark names across all snapshots, sorted for stable
+	// row order.
+	nameSet := map[string]bool{}
+	for _, s := range snaps {
+		for n := range s.Benchmarks {
+			nameSet[n] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	ew := &errWriter{w: w}
+	ew.printf("# Benchmark trend (%s)\n\n", unit)
+	ew.printf("%d snapshot(s), oldest first. Cells show the recorded median and the change vs the previous snapshot.\n\n", len(snaps))
+
+	ew.printf("| benchmark |")
+	for _, s := range snaps {
+		ew.printf(" %s |", s.Commit)
+	}
+	ew.printf("\n|---|")
+	for range snaps {
+		ew.printf("---:|")
+	}
+	ew.printf("\n")
+
+	for _, name := range names {
+		ew.printf("| %s |", displayName(name))
+		prev, hasPrev := 0.0, false
+		for _, s := range snaps {
+			entry, ok := s.Benchmarks[name]
+			if !ok {
+				ew.printf(" – |")
+				continue
+			}
+			v, ok := entry.Metrics[unit]
+			if !ok {
+				ew.printf(" – |")
+				continue
+			}
+			cell := fmtValue(v)
+			if hasPrev && prev > 0 {
+				cell += fmt.Sprintf(" (%+.1f%%)", (v-prev)/prev*100)
+			}
+			ew.printf(" %s |", cell)
+			prev, hasPrev = v, true
+		}
+		ew.printf("\n")
+	}
+	return ew.err
+}

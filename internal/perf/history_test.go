@@ -1,0 +1,140 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeSnapshot builds a history snapshot with one metric per benchmark.
+func fakeSnapshot(commit string, at time.Time, values map[string]float64) *HistorySnapshot {
+	base := &Baseline{
+		Version:    BaselineVersion,
+		Env:        CurrentEnv(),
+		Benchmarks: map[string]BaselineEntry{},
+	}
+	for name, v := range values {
+		base.Benchmarks[name] = BaselineEntry{
+			Metrics: map[string]float64{"ns/op": v, "allocs/op": 0},
+			Samples: 5,
+			Procs:   4,
+		}
+	}
+	return NewHistorySnapshot(base, commit, at)
+}
+
+func TestHistorySaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+	s1 := fakeSnapshot("aaaa111", t0, map[string]float64{"cardopc/internal/fft.BenchmarkForward1024": 1000})
+	s2 := fakeSnapshot("bbbb222", t0.Add(24*time.Hour), map[string]float64{"cardopc/internal/fft.BenchmarkForward1024": 900})
+
+	// Save out of order; LoadHistory must sort oldest-first.
+	for _, s := range []*HistorySnapshot{s2, s1} {
+		path, err := s.Save(dir)
+		if err != nil {
+			t.Fatalf("Save(%s): %v", s.Commit, err)
+		}
+		want := filepath.Join(dir, "BENCH_"+s.Commit+".json")
+		if path != want {
+			t.Errorf("Save path = %q, want %q", path, want)
+		}
+	}
+
+	snaps, err := LoadHistory(dir)
+	if err != nil {
+		t.Fatalf("LoadHistory: %v", err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("LoadHistory returned %d snapshots, want 2", len(snaps))
+	}
+	if snaps[0].Commit != "aaaa111" || snaps[1].Commit != "bbbb222" {
+		t.Errorf("order = %s, %s; want aaaa111, bbbb222", snaps[0].Commit, snaps[1].Commit)
+	}
+	got := snaps[1].Benchmarks["cardopc/internal/fft.BenchmarkForward1024"].Metrics["ns/op"]
+	if got < 899.5 || got > 900.5 {
+		t.Errorf("round-tripped ns/op = %v, want 900", got)
+	}
+}
+
+func TestHistorySaveRejectsBadCommit(t *testing.T) {
+	dir := t.TempDir()
+	for _, bad := range []string{"", "../../etc/passwd", "HEAD", "g123456", "abc"} {
+		s := fakeSnapshot("aaaa111", time.Unix(0, 0).UTC(), nil)
+		s.Commit = bad
+		if _, err := s.Save(dir); err == nil {
+			t.Errorf("Save with commit %q succeeded, want error", bad)
+		}
+	}
+}
+
+func TestLoadHistoryMissingDir(t *testing.T) {
+	snaps, err := LoadHistory(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatalf("LoadHistory on missing dir: %v", err)
+	}
+	if len(snaps) != 0 {
+		t.Errorf("got %d snapshots from missing dir, want 0", len(snaps))
+	}
+}
+
+func TestLoadHistoryIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("# hi\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := fakeSnapshot("cccc333", time.Unix(0, 0).UTC(), map[string]float64{"b": 1})
+	if _, err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := LoadHistory(dir)
+	if err != nil {
+		t.Fatalf("LoadHistory: %v", err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots, want 1 (README.md must be skipped)", len(snaps))
+	}
+}
+
+func TestWriteTrendMarkdown(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	snaps := []*HistorySnapshot{
+		fakeSnapshot("aaaa111", t0, map[string]float64{
+			"cardopc/internal/fft.BenchmarkForward1024":   1000,
+			"cardopc/internal/spline.BenchmarkLoopSample": 50,
+		}),
+		fakeSnapshot("bbbb222", t0.Add(time.Hour), map[string]float64{
+			"cardopc/internal/fft.BenchmarkForward1024": 900,
+			// spline benchmark vanished in the second snapshot.
+		}),
+	}
+	var sb strings.Builder
+	if err := WriteTrend(&sb, snaps, "ns/op"); err != nil {
+		t.Fatalf("WriteTrend: %v", err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"| benchmark | aaaa111 | bbbb222 |",
+		"internal/fft.BenchmarkForward1024",
+		"(-10.0%)", // 1000 -> 900
+		"| internal/spline.BenchmarkLoopSample | 50 | – |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTrendEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTrend(&sb, nil, "ns/op"); err != nil {
+		t.Fatalf("WriteTrend: %v", err)
+	}
+	if !strings.Contains(sb.String(), "No snapshots") {
+		t.Errorf("empty trend output = %q", sb.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"cardopc/internal/geom"
+	"cardopc/internal/obs"
 )
 
 // Binary is a binary image over a Grid: Data[y*Size+x] ∈ {0, 1} (values >1
@@ -210,6 +211,7 @@ func dirOf(x, y, fx, fy int) int {
 // world-coordinate polygons with linear interpolation along cell edges.
 // Open contours that hit the image boundary are closed along the border.
 func MarchingSquares(f *Field, th float64) []geom.Polygon {
+	defer obs.Start("raster.marching_squares").End()
 	size := f.Size
 	type edgeKey struct{ x, y, e int } // e: 0 bottom, 1 right, 2 top, 3 left of cell (x,y)
 	// Build segment list per cell, then stitch.

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"cardopc/internal/geom"
+	"cardopc/internal/obs"
 )
 
 // Grid describes the pixel raster: Size×Size pixels of Pitch nanometres,
@@ -203,6 +204,7 @@ func (f *Field) Clamp01() {
 // Rasterize renders polys into a fresh field with ss-fold supersampling and
 // clamps coverage to [0,1].
 func Rasterize(g Grid, polys []geom.Polygon, ss int) *Field {
+	defer obs.Start("raster.rasterize").End()
 	f := NewField(g)
 	for _, p := range polys {
 		f.FillPolygon(p, ss)

@@ -1,0 +1,192 @@
+package cardopc
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cardopc/internal/bigopc"
+	"cardopc/internal/cli"
+	"cardopc/internal/core"
+	"cardopc/internal/geom"
+	"cardopc/internal/layout"
+	"cardopc/internal/litho"
+)
+
+// TestObservabilitySmoke is the end-to-end check of the observability
+// pipeline: it runs a small via clip plus a two-tile bigopc run with
+// tracing, telemetry and report enabled through the same cli.StartObs
+// helper the CLIs use, then validates every emitted artifact.
+func TestObservabilitySmoke(t *testing.T) {
+	dir := t.TempDir()
+	opts := cli.ObsOptions{
+		Trace:      filepath.Join(dir, "trace.json"),
+		MetricsOut: filepath.Join(dir, "metrics.jsonl"),
+		Report:     filepath.Join(dir, "report.json"),
+		Cmd:        "smoke",
+		Clip:       "V1",
+	}
+	run, err := cli.StartObs(opts)
+	if err != nil {
+		t.Fatalf("StartObs: %v", err)
+	}
+
+	// Small single-window OPC run: litho kernel + optimizer spans.
+	lcfg := litho.DefaultConfig()
+	lcfg.GridSize = 256
+	lcfg.PitchNM = 8
+	sim := litho.NewSimulator(lcfg)
+	clip := layout.ViaClip(1)
+	opc := core.ViaConfig()
+	opc.Iterations = 3
+	opc.DecayAt = nil
+	res := core.Optimize(sim, clip.Targets, opc)
+	if res.Iterations != 3 {
+		t.Fatalf("OPC ran %d iterations, want 3", res.Iterations)
+	}
+	run.Report().Set("l2_px", 0)
+
+	// Two-tile bigopc run: per-tile worker spans.
+	bcfg := bigopc.Config{TileNM: 1024, HaloNM: 400, OPC: opc, Litho: lcfg, Workers: 2}
+	targets := []geom.Polygon{
+		geom.Polygon{geom.P(400, 400), geom.P(480, 400), geom.P(480, 480), geom.P(400, 480)},
+		geom.Polygon{geom.P(1400, 400), geom.P(1480, 400), geom.P(1480, 480), geom.P(1400, 480)},
+	}
+	if _, err := bigopc.Run(targets, bcfg); err != nil {
+		t.Fatalf("bigopc.Run: %v", err)
+	}
+
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	checkTrace(t, opts.Trace)
+	checkTelemetry(t, opts.MetricsOut)
+	checkReport(t, opts.Report)
+}
+
+// checkTrace validates the Chrome trace-event file: loadable JSON of the
+// expected shape, containing spans from every instrumented layer.
+func checkTrace(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	var trace struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			PID   int     `json:"pid"`
+			TID   int     `json:"tid"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", trace.DisplayTimeUnit)
+	}
+	seen := map[string]int{}
+	for _, e := range trace.TraceEvents {
+		if e.Phase != "X" {
+			t.Errorf("event %s has phase %q, want X", e.Name, e.Phase)
+		}
+		if e.Dur < 0 || e.TS < 0 {
+			t.Errorf("event %s has negative time (ts %v dur %v)", e.Name, e.TS, e.Dur)
+		}
+		seen[e.Name]++
+	}
+	for _, want := range []string{"litho.kernel", "opc.step", "opc.run", "bigopc.tile", "bigopc.run"} {
+		if seen[want] == 0 {
+			t.Errorf("trace has no %q span (got %v)", want, seen)
+		}
+	}
+	if seen["opc.step"] < 3 {
+		t.Errorf("trace has %d opc.step spans, want >= 3", seen["opc.step"])
+	}
+	if seen["bigopc.tile"] != 2 {
+		t.Errorf("trace has %d bigopc.tile spans, want 2", seen["bigopc.tile"])
+	}
+}
+
+// checkTelemetry validates the JSONL stream: every line parses, and the
+// per-iteration OPC records carry a finite positive loss.
+func checkTelemetry(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("reading telemetry: %v", err)
+	}
+	defer f.Close()
+	iters := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec struct {
+			T    string  `json:"t"`
+			Iter int     `json:"iter"`
+			Loss float64 `json:"loss"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad telemetry line %q: %v", sc.Text(), err)
+		}
+		if rec.T == "" {
+			t.Errorf("telemetry line missing kind tag: %q", sc.Text())
+		}
+		if rec.T == "opc.iter" {
+			iters++
+			if !(rec.Loss > 0) {
+				t.Errorf("opc.iter %d has non-positive loss %v", rec.Iter, rec.Loss)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 single-window iterations plus 2 tiles × 3 iterations.
+	if iters < 3 {
+		t.Errorf("telemetry has %d opc.iter records, want >= 3", iters)
+	}
+}
+
+// checkReport validates the end-of-run report: identity, the value set
+// by the test, and a metrics snapshot with live counters.
+func checkReport(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var rep struct {
+		Cmd     string         `json:"cmd"`
+		Clip    string         `json:"clip"`
+		WallMS  float64        `json:"wall_ms"`
+		Values  map[string]any `json:"values"`
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Cmd != "smoke" || rep.Clip != "V1" {
+		t.Errorf("report identity = %s/%s, want smoke/V1", rep.Cmd, rep.Clip)
+	}
+	if !(rep.WallMS > 0) {
+		t.Errorf("report wall_ms = %v, want > 0", rep.WallMS)
+	}
+	if _, ok := rep.Values["l2_px"]; !ok {
+		t.Error("report values missing l2_px")
+	}
+	if got := rep.Metrics.Counters["opc.iterations"]; got < 9 {
+		t.Errorf("opc.iterations counter = %d, want >= 9 (3 + 2 tiles x 3)", got)
+	}
+	if got := rep.Metrics.Counters["bigopc.tiles.done"]; got != 2 {
+		t.Errorf("bigopc.tiles.done counter = %d, want 2", got)
+	}
+}
