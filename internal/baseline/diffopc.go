@@ -75,6 +75,15 @@ func DiffOPC(sim *litho.Simulator, targets []geom.Polygon, cfg DiffConfig) *SegR
 	ith := sim.Config().Threshold
 	beta := cfg.ResistSteepness
 
+	// Steady-state buffers, reused every iteration; the forward cache's
+	// per-kernel grids come from (and return to) the fft pool.
+	aerial := raster.NewField(g)
+	G := make([]float64, len(field.Data))
+	gm := make([]float64, len(field.Data))
+	gmField := raster.Field{Grid: g, Data: gm}
+	cache := sim.NewForwardCache()
+	defer cache.Release()
+
 	for it := 0; it < cfg.Iterations; it++ {
 		for i := range field.Data {
 			field.Data[i] = 0
@@ -83,10 +92,9 @@ func DiffOPC(sim *litho.Simulator, targets []geom.Polygon, cfg DiffConfig) *SegR
 			field.FillPolygon(s.poly(), 4)
 		}
 		field.Clamp01()
-		aerial, cache := sim.AerialWithCache(field)
+		sim.AerialWithCacheInto(aerial, cache, field)
 
 		loss := 0.0
-		G := make([]float64, len(aerial.Data))
 		for i, I := range aerial.Data {
 			z := 1 / (1 + math.Exp(-beta*(I-ith)))
 			d := z - target.Data[i]
@@ -94,12 +102,11 @@ func DiffOPC(sim *litho.Simulator, targets []geom.Polygon, cfg DiffConfig) *SegR
 			G[i] = 2 * d * beta * z * (1 - z)
 		}
 		res.History = append(res.History, loss)
-		gm := sim.GradientFromCache(cache, G)
+		sim.GradientFromCacheInto(gm, cache, G)
 
 		// Move each segment against the loss gradient sampled along its
 		// current (displaced) position: moving a boundary outward adds mask
 		// transmission, so ∂L/∂offset ≈ ∫ gm over the swept band.
-		gmField := raster.Field{Grid: g, Data: gm}
 		for _, s := range shapes {
 			moves := make([]float64, len(s.frags))
 			for i, f := range s.frags {

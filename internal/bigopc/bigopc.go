@@ -167,6 +167,9 @@ func Run(targets []geom.Polygon, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// One optimizer per worker: tiles after the first reuse its
+			// raster scratch instead of reallocating two fields per tile.
+			var opt *core.Optimizer
 			for i := range idx {
 				key := keys[i]
 				obs.G("bigopc.workers.busy").Add(1)
@@ -175,7 +178,7 @@ func Run(targets []geom.Polygon, cfg Config) (*Result, error) {
 				if span.Enabled() {
 					t0 = time.Now()
 				}
-				results[i] = correctTile(sim, jobs[key], cfg)
+				results[i] = correctTile(sim, jobs[key], cfg, &opt)
 				if span.Enabled() {
 					obs.Emit(&obs.TileDone{
 						Col:    key[0],
@@ -209,8 +212,10 @@ func Run(targets []geom.Polygon, cfg Config) (*Result, error) {
 }
 
 // correctTile runs CardOPC on one window and returns the owned shapes'
-// corrected outlines in layout coordinates.
-func correctTile(sim *litho.Simulator, job *tileJob, cfg Config) []geom.Polygon {
+// corrected outlines in layout coordinates. opt holds the calling
+// worker's reusable optimizer (created on its first tile; cfg.OPC was
+// validated by Run's cfg.Validate).
+func correctTile(sim *litho.Simulator, job *tileJob, cfg Config, opt **core.Optimizer) []geom.Polygon {
 	shift := job.origin.Mul(-1)
 	local := make([]geom.Polygon, 0, len(job.owned)+len(job.halo))
 	for _, t := range job.owned {
@@ -220,7 +225,13 @@ func correctTile(sim *litho.Simulator, job *tileJob, cfg Config) []geom.Polygon 
 		local = append(local, t.Translate(shift))
 	}
 
-	res := core.Optimize(sim, local, cfg.OPC)
+	mask := core.NewMask(local, cfg.OPC)
+	if *opt == nil {
+		*opt = core.NewOptimizerWithMask(sim, mask, local, cfg.OPC)
+	} else {
+		(*opt).Reset(mask, local)
+	}
+	res := (*opt).Run()
 
 	// Main shapes come out in target order; keep the owned prefix.
 	var out []geom.Polygon

@@ -30,7 +30,8 @@ type Optimizer struct {
 	mask    *Mask
 	targets []geom.Polygon
 
-	field *raster.Field // mask raster scratch
+	field  *raster.Field // mask raster scratch
+	aerial *raster.Field // aerial image scratch
 }
 
 // NewOptimizer initialises the flow for the target polygons: SRAF insertion,
@@ -54,7 +55,17 @@ func NewOptimizerWithMask(sim *litho.Simulator, mask *Mask, targets []geom.Polyg
 		mask:    mask,
 		targets: targets,
 		field:   raster.NewField(sim.Grid()),
+		aerial:  raster.NewField(sim.Grid()),
 	}
+}
+
+// Reset repoints the optimizer at a new mask and target set, reusing its
+// raster scratch — the per-tile entry point for drivers (bigopc) that
+// run many corrections over one simulator. Config and simulator are
+// unchanged.
+func (o *Optimizer) Reset(mask *Mask, targets []geom.Polygon) {
+	o.mask = mask
+	o.targets = targets
 }
 
 // Mask returns the optimizer's current mask.
@@ -88,7 +99,7 @@ func (o *Optimizer) Step(it int) float64 {
 	rsp := obs.Start("opc.rasterize")
 	o.mask.RasterizeInto(o.field, o.cfg.SamplesPerSeg, 4)
 	rsp.End()
-	aerial := o.sim.Aerial(o.field)
+	aerial := o.sim.AerialInto(o.aerial, o.field)
 	ith := o.sim.Config().Threshold
 
 	// ⑤ Estimate edge displacement per control point and move.

@@ -1,7 +1,9 @@
 // Package fft provides hand-written fast Fourier transforms used by the
 // lithography simulator and the pixel ILT engine: an iterative radix-2
-// complex FFT, 2-D transforms parallelised across rows/columns, fftshift
-// helpers and frequency-domain convolution.
+// complex FFT, 2-D transforms parallelised across rows over a persistent
+// worker pool, fftshift helpers, frequency-domain convolution and pooled
+// scratch workspaces so the litho hot path runs allocation-free in steady
+// state.
 //
 // All transforms are in-place over []complex128 and require power-of-two
 // lengths; Pow2Ceil helps callers pick grid sizes.
@@ -11,7 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"runtime"
+
 	"sync"
 
 	"cardopc/internal/obs"
@@ -29,12 +31,23 @@ func Pow2Ceil(n int) int {
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // plan caches bit-reversal permutations and twiddle factors per size.
+// Both twiddle directions are precomputed so the butterfly loop carries
+// no per-element conjugation branch.
 type plan struct {
 	n   int
 	rev []int
-	// tw holds e^{-2πi k/n} for k in [0, n/2).
-	tw []complex128
+	// tw holds e^{-2πi k/n} for k in [0, n/2); twInv its conjugate.
+	tw    []complex128
+	twInv []complex128
 }
+
+// maxPlans bounds the plan cache. Transform lengths are powers of two,
+// so at most ~60 distinct sizes can ever exist; the cap guards the
+// degenerate case of a caller cycling through many sizes (varying tile
+// grids) so the map cannot grow without bound. Eviction drops an
+// arbitrary entry — a plan is O(n) to rebuild and evicted plans stay
+// valid for holders of the pointer.
+const maxPlans = 16
 
 var (
 	planMu sync.RWMutex
@@ -60,12 +73,27 @@ func getPlan(n int) *plan {
 		p.rev[i] = int(bits.Reverse(uint(i)) >> shift)
 	}
 	p.tw = make([]complex128, n/2)
+	p.twInv = make([]complex128, n/2)
 	for k := range p.tw {
 		ang := -2 * math.Pi * float64(k) / float64(n)
 		p.tw[k] = complex(math.Cos(ang), math.Sin(ang))
+		p.twInv[k] = complex(real(p.tw[k]), -imag(p.tw[k]))
+	}
+	if len(plans) >= maxPlans {
+		for k := range plans {
+			delete(plans, k)
+			break
+		}
 	}
 	plans[n] = p
 	return p
+}
+
+// planCount reports the live plan-cache size (test hook).
+func planCount() int {
+	planMu.RLock()
+	defer planMu.RUnlock()
+	return len(plans)
 }
 
 // Forward computes the in-place forward DFT of x. len(x) must be a power of
@@ -98,15 +126,18 @@ func transform(x []complex128, inverse bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
+	// The direction is baked into the twiddle table, keeping the
+	// innermost butterfly branch- and conjugation-free.
+	tw := p.tw
+	if inverse {
+		tw = p.twInv
+	}
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
 		step := n / size
 		for start := 0; start < n; start += size {
 			for k := 0; k < half; k++ {
-				w := p.tw[k*step]
-				if inverse {
-					w = complex(real(w), -imag(w))
-				}
+				w := tw[k*step]
 				a := x[start+k]
 				b := x[start+k+half] * w
 				x[start+k] = a + b
@@ -148,38 +179,8 @@ func (g *Grid2) Fill(v complex128) {
 	}
 }
 
-// parallelRows runs fn(y) for y in [0, h) over a bounded worker pool.
-func parallelRows(h int, fn func(y int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > h {
-		workers = h
-	}
-	if workers <= 1 {
-		for y := 0; y < h; y++ {
-			fn(y)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	rows := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for y := range rows {
-				fn(y)
-			}
-		}()
-	}
-	for y := 0; y < h; y++ {
-		rows <- y
-	}
-	close(rows)
-	wg.Wait()
-}
-
 // Forward2 computes the in-place forward 2-D DFT of g (rows then columns),
-// parallelised over goroutines.
+// parallelised over the package worker pool.
 func Forward2(g *Grid2) {
 	obs.C("fft.forward2").Inc()
 	transform2(g, false)
@@ -196,27 +197,61 @@ func Inverse2(g *Grid2) {
 	}
 }
 
-func transform2(g *Grid2, inverse bool) {
-	// Rows.
-	parallelRows(g.H, func(y int) {
-		transform(g.Data[y*g.W:(y+1)*g.W], inverse)
-	})
-	// Columns: gather, transform, scatter (per column, parallel).
-	parallelRows(g.W, func(x int) {
-		col := make([]complex128, g.H)
-		for y := 0; y < g.H; y++ {
-			col[y] = g.Data[y*g.W+x]
-		}
-		transform(col, inverse)
-		for y := 0; y < g.H; y++ {
-			g.Data[y*g.W+x] = col[y]
+// transposeBlock is the tile edge of the cache-blocked transpose: a
+// 32×32 complex128 tile is 16 KB, so one source tile plus one
+// destination tile stay L1-resident while every destination line is
+// written contiguously.
+const transposeBlock = 32
+
+// transposeInto writes srcᵀ into dst. dst must have dst.W == src.H and
+// dst.H == src.W; contents are fully overwritten.
+func transposeInto(dst, src *Grid2) {
+	if dst.W != src.H || dst.H != src.W {
+		panic(fmt.Sprintf("fft: transpose %dx%d into %dx%d", src.W, src.H, dst.W, dst.H))
+	}
+	nxb := (src.W + transposeBlock - 1) / transposeBlock
+	nyb := (src.H + transposeBlock - 1) / transposeBlock
+	parallelRows(nxb, func(xb int) {
+		x0 := xb * transposeBlock
+		x1 := min(x0+transposeBlock, src.W)
+		for yb := 0; yb < nyb; yb++ {
+			y0 := yb * transposeBlock
+			y1 := min(y0+transposeBlock, src.H)
+			for x := x0; x < x1; x++ {
+				d := x * dst.W
+				for y := y0; y < y1; y++ {
+					dst.Data[d+y] = src.Data[y*src.W+x]
+				}
+			}
 		}
 	})
 }
 
+// transform2 runs the separable 2-D transform as row FFTs, a blocked
+// transpose into pooled scratch, row FFTs again (the columns), and a
+// transpose back — every FFT then walks contiguous memory instead of
+// gathering strided columns.
+func transform2(g *Grid2, inverse bool) {
+	parallelRows(g.H, func(y int) {
+		transform(g.Data[y*g.W:(y+1)*g.W], inverse)
+	})
+	t := GetGrid(g.H, g.W)
+	transposeInto(t, g)
+	parallelRows(t.H, func(y int) {
+		transform(t.Data[y*t.W:(y+1)*t.W], inverse)
+	})
+	transposeInto(g, t)
+	PutGrid(t)
+}
+
 // Shift2 swaps quadrants in place so the zero-frequency bin moves between
-// corner and centre (self-inverse for even dimensions).
+// corner and centre (self-inverse). Odd dimensions have no quadrant
+// decomposition — the swap would scramble the grid — so they panic,
+// matching transform's contract for invalid sizes.
 func Shift2(g *Grid2) {
+	if g.W%2 != 0 || g.H%2 != 0 {
+		panic(fmt.Sprintf("fft: Shift2 requires even dimensions, got %dx%d", g.W, g.H))
+	}
 	hw, hh := g.W/2, g.H/2
 	for y := 0; y < hh; y++ {
 		for x := 0; x < g.W; x++ {

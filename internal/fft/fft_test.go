@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -211,6 +212,84 @@ func TestShift2SelfInverse(t *testing.T) {
 	Shift2(g)
 	if e := maxErr(g.Data, orig.Data); e != 0 {
 		t.Errorf("Shift2 not self-inverse: %v", e)
+	}
+}
+
+// dft2 is the O(n³) separable 2-D reference: row DFTs then column DFTs.
+func dft2(g *Grid2) *Grid2 {
+	out := NewGrid2(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		copy(out.Data[y*g.W:(y+1)*g.W], dft(g.Data[y*g.W:(y+1)*g.W]))
+	}
+	col := make([]complex128, g.H)
+	for x := 0; x < g.W; x++ {
+		for y := 0; y < g.H; y++ {
+			col[y] = out.At(x, y)
+		}
+		for y, v := range dft(col) {
+			out.Set(x, y, v)
+		}
+	}
+	return out
+}
+
+func TestForward2NonSquareMatchesDFT(t *testing.T) {
+	// Guards the blocked transpose on rectangular grids, where a wrong
+	// index mapping cannot cancel out the way it might on square ones.
+	r := rand.New(rand.NewSource(7))
+	for _, dims := range [][2]int{{32, 16}, {16, 32}, {64, 4}, {8, 8}} {
+		g := NewGrid2(dims[0], dims[1])
+		for i := range g.Data {
+			g.Data[i] = complex(r.Float64()*2-1, r.Float64()*2-1)
+		}
+		want := dft2(g)
+		Forward2(g)
+		if e := maxErr(g.Data, want.Data); e > 1e-9*float64(dims[0]*dims[1]) {
+			t.Errorf("%dx%d: max err = %v", dims[0], dims[1], e)
+		}
+	}
+}
+
+func TestShift2PanicsOnOdd(t *testing.T) {
+	// fftshift on an odd dimension is not self-inverse and silently
+	// corrupts kernel centering; it must refuse.
+	for _, dims := range [][2]int{{7, 8}, {8, 7}, {5, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Shift2(%dx%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			Shift2(&Grid2{W: dims[0], H: dims[1], Data: make([]complex128, dims[0]*dims[1])})
+		}()
+	}
+}
+
+func TestPlanCacheBounded(t *testing.T) {
+	// Concurrent transforms over more distinct lengths than maxPlans must
+	// leave the plan cache capped (and survive -race).
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := 1; p <= 20; p++ {
+				x := make([]complex128, 1<<p)
+				x[0] = complex(float64(w), 0)
+				Forward(x)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := planCount(); n > maxPlans {
+		t.Errorf("plan cache holds %d entries, cap is %d", n, maxPlans)
+	}
+	// The cache keeps working after evictions.
+	x := []complex128{1, 0, 0, 0}
+	Forward(x)
+	Inverse(x)
+	if cmplx.Abs(x[0]-1) > 1e-12 {
+		t.Errorf("round trip after eviction: %v", x[0])
 	}
 }
 

@@ -1,0 +1,126 @@
+package fft
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// rowTask is one parallelRows invocation. The submitter and any enlisted
+// pool workers claim rows by atomically advancing next; the worker that
+// completes the last row signals done. refs counts outstanding handles
+// (the submitter plus every queued enlistment) so the task object is
+// only recycled once nobody can touch it.
+type rowTask struct {
+	fn   func(y int)
+	rows int32
+	next atomic.Int32
+	left atomic.Int32
+	refs atomic.Int32
+	done chan struct{} // buffered(1), signalled once per run
+}
+
+var rowTaskPool = sync.Pool{New: func() any {
+	return &rowTask{done: make(chan struct{}, 1)}
+}}
+
+// work claims and executes rows until the task drains.
+func (t *rowTask) work() {
+	rows := t.rows
+	for {
+		y := t.next.Add(1) - 1
+		if y >= rows {
+			return
+		}
+		t.fn(int(y))
+		if t.left.Add(-1) == 0 {
+			t.done <- struct{}{}
+		}
+	}
+}
+
+// release drops one handle and recycles the task when it was the last.
+func (t *rowTask) release() {
+	if t.refs.Add(-1) == 0 {
+		t.fn = nil
+		rowTaskPool.Put(t)
+	}
+}
+
+// The persistent worker pool: long-lived goroutines draining rowTasks,
+// grown on demand up to min(GOMAXPROCS, NumCPU)-1 (the submitter always
+// works its own task too). Replaces the per-call goroutine+channel
+// fan-out that used to dominate small-transform overhead.
+var (
+	rowPoolMu  sync.Mutex
+	rowWorkers int
+	rowTasks   = make(chan *rowTask, 64)
+)
+
+// ensureRowWorkers grows the pool to want workers.
+func ensureRowWorkers(want int) {
+	rowPoolMu.Lock()
+	defer rowPoolMu.Unlock()
+	for rowWorkers < want {
+		rowWorkers++
+		//cardopc:allow goleak persistent package-level worker pool by design; drains the global rowTasks channel for the process lifetime
+		go func() {
+			for t := range rowTasks {
+				t.work()
+				t.release()
+			}
+		}()
+	}
+}
+
+// helperCount returns how many pool helpers a call may enlist: never
+// more OS-schedulable threads than real CPUs — oversubscribing an FFT
+// with compute-bound goroutines only adds scheduling overhead.
+func helperCount() int {
+	w := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < w {
+		w = c
+	}
+	return w - 1
+}
+
+// parallelRows runs fn(y) for y in [0, h), spreading rows over the
+// persistent worker pool. The caller participates, enlistment is
+// non-blocking (busy helpers mean other transforms are in flight and
+// the caller simply does the work itself), and the call returns only
+// after every row completed.
+func parallelRows(h int, fn func(y int)) {
+	if h <= 0 {
+		return
+	}
+	helpers := helperCount()
+	if helpers > h-1 {
+		helpers = h - 1
+	}
+	if helpers <= 0 {
+		for y := 0; y < h; y++ {
+			fn(y)
+		}
+		return
+	}
+	ensureRowWorkers(helpers)
+	t := rowTaskPool.Get().(*rowTask)
+	t.fn = fn
+	t.rows = int32(h)
+	t.next.Store(0)
+	t.left.Store(int32(h))
+	t.refs.Store(1)
+	for i := 0; i < helpers; i++ {
+		t.refs.Add(1)
+		select {
+		case rowTasks <- t:
+		default:
+			// Pool saturated: keep the work local.
+			t.refs.Add(-1)
+			i = helpers
+		}
+	}
+	t.work()
+	<-t.done
+	t.release()
+}

@@ -1,0 +1,84 @@
+package fft
+
+import (
+	"sync"
+
+	"cardopc/internal/obs"
+)
+
+// Scratch pooling for the litho/ILT hot path: every aerial-image or
+// adjoint-gradient evaluation needs one n×n complex grid plus one n×n
+// float accumulator per worker, and reallocating those per call
+// (≈6 MB/worker/iteration at 512²) dominated steady-state allocation.
+// Grids and workspaces are pooled per element count; sizes vary only
+// with the tile grid, so the pools stay small and sync.Pool's GC
+// integration bounds idle memory.
+
+var (
+	gridPools sync.Map // element count → *sync.Pool of *Grid2
+	wsPools   sync.Map // element count → *sync.Pool of *Workspace
+)
+
+func poolIn(m *sync.Map, n int) *sync.Pool {
+	if p, ok := m.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := m.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// GetGrid returns a w×h grid from the free pool, allocating only on a
+// pool miss. The contents are unspecified — callers must overwrite
+// every element (transforms, transposes and MulInto all do). Return the
+// grid with PutGrid once it is no longer referenced.
+func GetGrid(w, h int) *Grid2 {
+	if v := poolIn(&gridPools, w*h).Get(); v != nil {
+		g := v.(*Grid2)
+		g.W, g.H = w, h
+		return g
+	}
+	obs.C("fft.pool.grid_miss").Inc()
+	return NewGrid2(w, h)
+}
+
+// PutGrid returns g to the free pool. g must not be used afterwards.
+func PutGrid(g *Grid2) {
+	if g == nil || len(g.Data) == 0 {
+		return
+	}
+	poolIn(&gridPools, len(g.Data)).Put(g)
+}
+
+// Workspace bundles the per-worker scratch of one litho kernel loop: a
+// complex grid for the frequency-domain convolution and a float
+// accumulator for the weighted intensity partial sum.
+type Workspace struct {
+	// Grid is w×h convolution scratch with unspecified contents.
+	Grid *Grid2
+	// Acc is a zeroed w·h accumulator.
+	Acc []float64
+}
+
+// GetWorkspace returns a pooled workspace for a w×h grid: Grid holds
+// unspecified contents, Acc is zeroed and ready to accumulate. Release
+// it when the partial sums have been reduced.
+func GetWorkspace(w, h int) *Workspace {
+	n := w * h
+	if v := poolIn(&wsPools, n).Get(); v != nil {
+		ws := v.(*Workspace)
+		ws.Grid.W, ws.Grid.H = w, h
+		clear(ws.Acc)
+		return ws
+	}
+	obs.C("fft.pool.ws_miss").Inc()
+	return &Workspace{Grid: NewGrid2(w, h), Acc: make([]float64, n)}
+}
+
+// Release returns the workspace to the free pool. The workspace (and
+// its Grid and Acc) must not be used afterwards.
+func (ws *Workspace) Release() {
+	if ws == nil || ws.Grid == nil {
+		return
+	}
+	poolIn(&wsPools, len(ws.Acc)).Put(ws)
+}

@@ -1,0 +1,103 @@
+package fft
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetGridDims(t *testing.T) {
+	g := GetGrid(32, 16)
+	if g.W != 32 || g.H != 16 || len(g.Data) != 512 {
+		t.Fatalf("GetGrid(32,16) = %dx%d len %d", g.W, g.H, len(g.Data))
+	}
+	PutGrid(g)
+	// A pooled grid re-drawn with transposed dims must have them re-stamped.
+	g2 := GetGrid(16, 32)
+	if g2.W != 16 || g2.H != 32 || len(g2.Data) != 512 {
+		t.Fatalf("GetGrid(16,32) = %dx%d len %d", g2.W, g2.H, len(g2.Data))
+	}
+	PutGrid(g2)
+}
+
+func TestWorkspaceAccZeroedAfterDirtyRelease(t *testing.T) {
+	ws := GetWorkspace(8, 8)
+	for i := range ws.Acc {
+		ws.Acc[i] = 3.5
+	}
+	ws.Release()
+	// Whether or not the pool hands back the same object, the accumulator
+	// contract is "zeroed on Get".
+	ws2 := GetWorkspace(8, 8)
+	defer ws2.Release()
+	for i, v := range ws2.Acc {
+		if v != 0 {
+			t.Fatalf("Acc[%d] = %v after dirty Release, want 0", i, v)
+		}
+	}
+	if ws2.Grid.W != 8 || ws2.Grid.H != 8 {
+		t.Fatalf("workspace grid %dx%d", ws2.Grid.W, ws2.Grid.H)
+	}
+}
+
+func TestWorkspacePoolConcurrent(t *testing.T) {
+	// Hammer the pools from several goroutines; run with -race.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ws := GetWorkspace(16, 16)
+				ws.Acc[i%len(ws.Acc)] = 1
+				ws.Grid.Data[0] = complex(float64(i), 0)
+				ws.Release()
+				g := GetGrid(16, 16)
+				g.Data[len(g.Data)-1] = 2
+				PutGrid(g)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestParallelRowsCoversAllRows(t *testing.T) {
+	// Every row index must be visited exactly once, including across
+	// repeated calls that recycle pooled row tasks.
+	for iter := 0; iter < 50; iter++ {
+		const h = 97
+		var hits [h]int32
+		parallelRows(h, func(y int) {
+			atomic.AddInt32(&hits[y], 1)
+		})
+		for y, c := range hits {
+			if c != 1 {
+				t.Fatalf("iter %d: row %d visited %d times", iter, y, c)
+			}
+		}
+	}
+}
+
+func TestParallelRowsConcurrentCallers(t *testing.T) {
+	// Independent parallelRows calls share the worker pool; each must
+	// still see its own rows exactly once (run with -race).
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				const h = 33
+				var hits [h]int32
+				parallelRows(h, func(y int) { atomic.AddInt32(&hits[y], 1) })
+				for y, c := range hits {
+					if c != 1 {
+						t.Errorf("row %d visited %d times", y, c)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -94,7 +94,12 @@ func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
 // maskFromTheta materialises the continuous mask M = σ(k·θ).
 func (s *Solver) maskFromTheta() *raster.Field {
-	m := raster.NewField(s.target.Grid)
+	return s.maskFromThetaInto(raster.NewField(s.target.Grid))
+}
+
+// maskFromThetaInto is maskFromTheta overwriting m (the descent loop's
+// reusable mask buffer).
+func (s *Solver) maskFromThetaInto(m *raster.Field) *raster.Field {
 	for i, th := range s.theta {
 		m.Data[i] = sigmoid(s.cfg.MaskSteepness * th)
 	}
@@ -109,19 +114,28 @@ func (s *Solver) Run() *Result {
 	beta := s.cfg.ResistSteepness
 	var history []float64
 
+	// Steady-state buffers: the mask/aerial fields, the loss gradient G,
+	// the adjoint gm and the forward cache are allocated once and reused
+	// every iteration — the cache's per-kernel amplitude grids come from
+	// (and return to) the fft pool.
 	grad := make([]float64, len(s.theta))
+	mask := raster.NewField(s.target.Grid)
+	aerial := raster.NewField(s.target.Grid)
+	G := make([]float64, len(s.theta))
+	gm := make([]float64, len(s.theta))
+	cache := s.sim.NewForwardCache()
+	defer cache.Release()
 	for it := 0; it < s.cfg.Iterations; it++ {
 		span := obs.Start("ilt.step")
 		t0 := time.Time{}
 		if span.Enabled() {
 			t0 = time.Now()
 		}
-		mask := s.maskFromTheta()
-		aerial, cache := s.sim.AerialWithCache(mask)
+		s.maskFromThetaInto(mask)
+		s.sim.AerialWithCacheInto(aerial, cache, mask)
 
 		// Resist + loss, and G = ∂L/∂I.
 		loss := 0.0
-		G := make([]float64, len(aerial.Data))
 		for i, I := range aerial.Data {
 			z := sigmoid(beta * (I - ith))
 			zt := s.target.Data[i]
@@ -131,7 +145,7 @@ func (s *Solver) Run() *Result {
 		}
 		history = append(history, loss)
 
-		gm := s.sim.GradientFromCache(cache, G)
+		s.sim.GradientFromCacheInto(gm, cache, G)
 		// Chain through M = σ(k·θ), plus the area regulariser ∂(λΣM)/∂M = λ.
 		for i := range grad {
 			m := mask.Data[i]

@@ -1,6 +1,7 @@
 package litho
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -11,54 +12,104 @@ import (
 
 // ForwardCache keeps the per-kernel coherent fields A_k = M ⊗ h_k of one
 // forward simulation so the adjoint gradient can be evaluated without
-// re-convolving.
+// re-convolving. A cache is bound to one simulator, is not safe for
+// concurrent use, and may be reused across iterations (each
+// AerialWithCacheInto overwrites it in place); Release returns its grids
+// to the fft pool when the optimisation loop is done.
 type ForwardCache struct {
 	amps []*fft.Grid2
 	sim  *Simulator
+}
+
+// NewForwardCache returns an empty reusable cache bound to s. Grids are
+// drawn lazily from the fft pool on the first forward pass.
+func (s *Simulator) NewForwardCache() *ForwardCache {
+	return &ForwardCache{sim: s}
+}
+
+// ensure draws the per-kernel amplitude grids from the fft pool.
+func (c *ForwardCache) ensure(n int) {
+	if c.amps == nil {
+		c.amps = make([]*fft.Grid2, len(c.sim.kernels))
+	}
+	for i, a := range c.amps {
+		if a == nil {
+			c.amps[i] = fft.GetGrid(n, n)
+		}
+	}
+}
+
+// Release returns the cached amplitude grids to the fft pool. The cache
+// stays usable — the next forward pass draws fresh grids.
+func (c *ForwardCache) Release() {
+	for i, a := range c.amps {
+		if a != nil {
+			fft.PutGrid(a)
+			c.amps[i] = nil
+		}
+	}
 }
 
 // AerialWithCache computes the aerial image like Aerial but retains the
 // coherent amplitudes for a subsequent GradientFromCache call. The dose
 // scaling is applied to the intensity exactly as in Aerial.
 func (s *Simulator) AerialWithCache(mask *raster.Field) (*raster.Field, *ForwardCache) {
+	cache := s.NewForwardCache()
+	out := s.AerialWithCacheInto(raster.NewField(s.grid), cache, mask)
+	return out, cache
+}
+
+// AerialWithCacheInto is AerialWithCache writing the aerial image into
+// out (fully overwritten) and the coherent amplitudes into cache,
+// reusing the cache's grids when it has been filled before — the
+// steady-state path of the ILT descent loop.
+func (s *Simulator) AerialWithCacheInto(out *raster.Field, cache *ForwardCache, mask *raster.Field) *raster.Field {
 	defer obs.Start("litho.aerial_cached").End()
 	obs.C("litho.aerial.count").Inc()
-	maskFreq := MaskFreq(mask)
 	n := s.cfg.GridSize
-	out := raster.NewField(s.grid)
-	cache := &ForwardCache{amps: make([]*fft.Grid2, len(s.kernels)), sim: s}
+	if cache.sim != s {
+		panic("litho: ForwardCache used with a different simulator")
+	}
+	if out.Size != n || mask.Size != n {
+		panic(fmt.Sprintf("litho: aerial out %d px / mask %d px for a %d px imager", out.Size, mask.Size, n))
+	}
+	mf := fft.GetGrid(n, n)
+	MaskFreqInto(mf, mask)
+	cache.ensure(n)
+	clear(out.Data)
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(s.kernels) {
 		workers = len(s.kernels)
 	}
-	accs := make([][]float64, workers)
+	wss := make([]*fft.Workspace, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			acc := make([]float64, n*n)
+			ws := fft.GetWorkspace(n, n)
 			for ki := w; ki < len(s.kernels); ki += workers {
 				ksp := obs.StartOn(obs.TrackLithoWorker+w, "litho.kernel")
-				amp := fft.NewGrid2(n, n)
-				fft.ConvolveInto(amp, maskFreq, s.kernels[ki])
-				cache.amps[ki] = amp
+				amp := cache.amps[ki]
+				fft.ConvolveInto(amp, mf, s.kernels[ki])
 				wk := s.weights[ki]
 				for i, v := range amp.Data {
 					re, im := real(v), imag(v)
-					acc[i] += wk * (re*re + im*im)
+					ws.Acc[i] += wk * (re*re + im*im)
 				}
 				ksp.End()
 			}
-			accs[w] = acc
+			wss[w] = ws
 		}(w)
 	}
 	wg.Wait()
-	for _, acc := range accs {
-		for i, v := range acc {
+	fft.PutGrid(mf)
+	for _, ws := range wss {
+		for i, v := range ws.Acc {
 			out.Data[i] += v
 		}
+		ws.Release()
 	}
 
 	if s.cfg.Dose != 1 {
@@ -66,7 +117,7 @@ func (s *Simulator) AerialWithCache(mask *raster.Field) (*raster.Field, *Forward
 			out.Data[i] *= s.cfg.Dose
 		}
 	}
-	return out, cache
+	return out
 }
 
 // GradientFromCache computes ∂L/∂M given G = ∂L/∂I (the loss gradient with
@@ -82,23 +133,38 @@ func (s *Simulator) AerialWithCache(mask *raster.Field) (*raster.Field, *Forward
 // where corr is cross-correlation, evaluated in the frequency domain as
 // IFFT( FFT(G ⊙ A_k) ⊙ conj(H_k) ).
 func (s *Simulator) GradientFromCache(cache *ForwardCache, G []float64) []float64 {
+	n := s.cfg.GridSize
+	return s.GradientFromCacheInto(make([]float64, n*n), cache, G)
+}
+
+// GradientFromCacheInto is GradientFromCache accumulating into grad
+// (fully overwritten), drawing worker scratch from the fft workspace
+// pool. The reduction runs in worker order, so results are bit-identical
+// across runs.
+func (s *Simulator) GradientFromCacheInto(grad []float64, cache *ForwardCache, G []float64) []float64 {
 	defer obs.Start("litho.gradient").End()
 	obs.C("litho.gradient.count").Inc()
 	n := s.cfg.GridSize
-	grad := make([]float64, n*n)
+	if cache.sim != s {
+		panic("litho: ForwardCache used with a different simulator")
+	}
+	if len(grad) != n*n || len(G) != n*n {
+		panic(fmt.Sprintf("litho: gradient buffers %d/%d px for a %d px imager", len(grad), len(G), n))
+	}
+	clear(grad)
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(s.kernels) {
 		workers = len(s.kernels)
 	}
-	accs := make([][]float64, workers)
+	wss := make([]*fft.Workspace, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			buf := fft.NewGrid2(n, n)
-			acc := make([]float64, n*n)
+			ws := fft.GetWorkspace(n, n)
+			buf := ws.Grid
 			for ki := w; ki < len(s.kernels); ki += workers {
 				ksp := obs.StartOn(obs.TrackLithoWorker+w, "litho.grad_kernel")
 				amp := cache.amps[ki]
@@ -114,18 +180,19 @@ func (s *Simulator) GradientFromCache(cache *ForwardCache, G []float64) []float6
 				fft.Inverse2(buf)
 				wk := 2 * s.weights[ki] * s.cfg.Dose
 				for i, v := range buf.Data {
-					acc[i] += wk * real(v)
+					ws.Acc[i] += wk * real(v)
 				}
 				ksp.End()
 			}
-			accs[w] = acc
+			wss[w] = ws
 		}(w)
 	}
 	wg.Wait()
-	for _, acc := range accs {
-		for i, v := range acc {
+	for _, ws := range wss {
+		for i, v := range ws.Acc {
 			grad[i] += v
 		}
+		ws.Release()
 	}
 	return grad
 }

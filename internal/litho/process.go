@@ -1,6 +1,8 @@
 package litho
 
 import (
+	"sync"
+
 	"cardopc/internal/fft"
 	"cardopc/internal/raster"
 )
@@ -31,6 +33,10 @@ func DefaultCorners() CornerSpec {
 }
 
 // NewProcess builds the nominal simulator plus inner/outer corners for cfg.
+// Corners whose optics match nominal adopt its kernel set instead of
+// rebuilding it: the SOCS kernels depend on defocus but not on dose, so
+// the outer (dose-only) corner always shares, and the inner corner shares
+// too when the spec applies no extra defocus.
 func NewProcess(cfg Config, spec CornerSpec) *Process {
 	nom := NewSimulator(cfg)
 
@@ -42,28 +48,76 @@ func NewProcess(cfg Config, spec CornerSpec) *Process {
 
 	return &Process{
 		Nominal: nom,
-		Inner:   NewSimulator(innerCfg),
-		Outer:   NewSimulator(outerCfg),
+		Inner:   newSimulatorSharing(innerCfg, nom),
+		Outer:   newSimulatorSharing(outerCfg, nom),
+	}
+}
+
+// kernelConfig strips the configuration fields the SOCS kernel set does
+// not depend on: dose scales intensity after the convolutions and the
+// threshold only binarises, so two configs equal modulo Dose/Threshold
+// image through identical kernels.
+func kernelConfig(cfg Config) Config {
+	cfg.Dose = 0
+	cfg.Threshold = 0
+	return cfg
+}
+
+// newSimulatorSharing builds a simulator for cfg, adopting donor's
+// (immutable, concurrency-safe) kernel set when the two configs share
+// imaging optics, and building a fresh set otherwise.
+func newSimulatorSharing(cfg Config, donor *Simulator) *Simulator {
+	if donor == nil || kernelConfig(cfg) != kernelConfig(donor.cfg) {
+		return NewSimulator(cfg)
+	}
+	if cfg.Dose == 0 {
+		cfg.Dose = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Simulator{
+		cfg:     cfg,
+		grid:    donor.grid,
+		kernels: donor.kernels,
+		weights: donor.weights,
 	}
 }
 
 // PrintedAll images mask once per corner (sharing the mask spectrum) and
 // returns the nominal, inner and outer binarised prints.
 func (p *Process) PrintedAll(mask *raster.Field) (nom, inner, outer *raster.Binary) {
-	mf := MaskFreq(mask)
-	nom = p.Nominal.AerialFromFreq(mf).Threshold(p.Nominal.cfg.Threshold)
-	inner = p.Inner.AerialFromFreq(mf).Threshold(p.Inner.cfg.Threshold)
-	outer = p.Outer.AerialFromFreq(mf).Threshold(p.Outer.cfg.Threshold)
+	nomA, innerA, outerA := p.AerialAll(mask)
+	return nomA.Threshold(p.Nominal.cfg.Threshold),
+		innerA.Threshold(p.Inner.cfg.Threshold),
+		outerA.Threshold(p.Outer.cfg.Threshold)
+}
+
+// AerialAll returns the three corner aerial images, sharing one pooled
+// mask FFT.
+func (p *Process) AerialAll(mask *raster.Field) (nom, inner, outer *raster.Field) {
+	mf := fft.GetGrid(mask.Size, mask.Size)
+	MaskFreqInto(mf, mask)
+	nom, inner, outer = p.AerialAllFromFreq(mf)
+	fft.PutGrid(mf)
 	return nom, inner, outer
 }
 
-// AerialAll returns the three corner aerial images, sharing one mask FFT.
-func (p *Process) AerialAll(mask *raster.Field) (nom, inner, outer *raster.Field) {
-	mf := MaskFreq(mask)
-	return p.Nominal.AerialFromFreq(mf), p.Inner.AerialFromFreq(mf), p.Outer.AerialFromFreq(mf)
-}
-
-// AerialAllFromFreq is AerialAll over a precomputed mask spectrum.
+// AerialAllFromFreq is AerialAll over a precomputed mask spectrum. The
+// three corners run concurrently — the spectrum is only read and each
+// corner's reduction stays deterministic on its own.
 func (p *Process) AerialAllFromFreq(mf *fft.Grid2) (nom, inner, outer *raster.Field) {
-	return p.Nominal.AerialFromFreq(mf), p.Inner.AerialFromFreq(mf), p.Outer.AerialFromFreq(mf)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		inner = p.Inner.AerialFromFreq(mf)
+	}()
+	go func() {
+		defer wg.Done()
+		outer = p.Outer.AerialFromFreq(mf)
+	}()
+	nom = p.Nominal.AerialFromFreq(mf)
+	wg.Wait()
+	return nom, inner, outer
 }

@@ -1,0 +1,93 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"cardopc/internal/geom"
+)
+
+func TestSharedCornerKernels(t *testing.T) {
+	// The SOCS kernels depend on the optics (and defocus) but not on dose,
+	// so the dose-only outer corner must adopt the nominal kernel set
+	// rather than rebuilding it.
+	p := NewProcess(testConfig(), DefaultCorners())
+	if p.Outer.kernels[0] != p.Nominal.kernels[0] {
+		t.Error("dose-only outer corner rebuilt its kernels instead of sharing")
+	}
+	// The defocused inner corner images through different kernels.
+	if p.Inner.kernels[0] == p.Nominal.kernels[0] {
+		t.Error("defocused inner corner shares nominal kernels")
+	}
+	// With zero corner defocus all three corners share one set.
+	p0 := NewProcess(testConfig(), CornerSpec{DoseDelta: 0.02})
+	if p0.Inner.kernels[0] != p0.Nominal.kernels[0] {
+		t.Error("focus-matched inner corner rebuilt its kernels")
+	}
+	// Dose still differs across the shared-kernel corners.
+	if p0.Inner.cfg.Dose == p0.Outer.cfg.Dose {
+		t.Error("corner doses collapsed")
+	}
+}
+
+func TestAerialAllMatchesSequential(t *testing.T) {
+	// The concurrent three-corner evaluation must be bit-identical to
+	// imaging each corner on its own.
+	p := NewProcess(testConfig(), DefaultCorners())
+	mask := maskWithRect(p.Nominal.Grid(), geom.Rect{Min: geom.P(874, 874), Max: geom.P(1174, 1174)})
+	nom, inner, outer := p.AerialAll(mask)
+	mf := MaskFreq(mask)
+	for name, pair := range map[string][2][]float64{
+		"nominal": {nom.Data, p.Nominal.AerialFromFreq(mf).Data},
+		"inner":   {inner.Data, p.Inner.AerialFromFreq(mf).Data},
+		"outer":   {outer.Data, p.Outer.AerialFromFreq(mf).Data},
+	} {
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s corner differs at pixel %d: %v vs %v", name, i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+}
+
+func TestForwardCacheReuse(t *testing.T) {
+	// A cache reused across iterations (the ILT steady state) must produce
+	// the same aerial image and gradient as a fresh evaluation.
+	s := NewSimulator(testConfig())
+	m1 := maskWithRect(s.Grid(), geom.Rect{Min: geom.P(874, 874), Max: geom.P(1174, 1174)})
+	m2 := maskWithRect(s.Grid(), geom.Rect{Min: geom.P(500, 700), Max: geom.P(900, 1000)})
+	cache := s.NewForwardCache()
+	defer cache.Release()
+	out := s.Aerial(m1) // scratch shape for the cached path
+	s.AerialWithCacheInto(out, cache, m1)
+	s.AerialWithCacheInto(out, cache, m2) // second pass overwrites in place
+	want := s.Aerial(m2)
+	for i := range out.Data {
+		if out.Data[i] != want.Data[i] {
+			t.Fatalf("cached aerial differs at pixel %d", i)
+		}
+	}
+	G := make([]float64, len(out.Data))
+	for i, v := range out.Data {
+		G[i] = 2 * (v - 0.5)
+	}
+	grad := make([]float64, len(G))
+	s.GradientFromCacheInto(grad, cache, G)
+	_, freshCache := s.AerialWithCache(m2)
+	defer freshCache.Release()
+	wantGrad := s.GradientFromCache(freshCache, G)
+	for i := range grad {
+		if grad[i] != wantGrad[i] {
+			t.Fatalf("cached gradient differs at element %d", i)
+		}
+	}
+	// Release keeps the cache usable: the next pass redraws pooled grids.
+	cache.Release()
+	s.AerialWithCacheInto(out, cache, m1)
+	want1 := s.Aerial(m1)
+	for i := range out.Data {
+		if math.Abs(out.Data[i]-want1.Data[i]) != 0 {
+			t.Fatalf("post-Release aerial differs at pixel %d", i)
+		}
+	}
+}

@@ -32,7 +32,7 @@ func TrackedSet() []Tracked {
 	return []Tracked{
 		{Pkg: "./internal/analysis", Pattern: "^(BenchmarkVetCold|BenchmarkVetWarm)$"},
 		{Pkg: "./internal/fft", Pattern: "^(BenchmarkForward1024|BenchmarkForward2_256)$"},
-		{Pkg: "./internal/litho", Pattern: "^(BenchmarkAerial256|BenchmarkGradient256)$"},
+		{Pkg: "./internal/litho", Pattern: "^(BenchmarkAerial256|BenchmarkGradient256|BenchmarkAerialAll512)$"},
 		{Pkg: "./internal/raster", Pattern: "^(BenchmarkFillPolygon|BenchmarkMarchingSquares)$"},
 		{Pkg: "./internal/rtree", Pattern: "^(BenchmarkSTRBuild1000|BenchmarkSearch1000)$"},
 		{Pkg: "./internal/spline", Pattern: "^BenchmarkLoopSample$"},
