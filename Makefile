@@ -11,7 +11,7 @@ BENCH_CPU ?= 4
 # BENCH_COUNT runs are what benchdiff compares (>= 3 for a useful median).
 BENCH_COUNT ?= 5
 
-.PHONY: all build test vet vet-fast race bench bench-record bench-check bench-trend
+.PHONY: all build test test-pooldebug vet vet-fast race bench bench-record bench-check bench-trend
 
 all: build vet test
 
@@ -24,15 +24,23 @@ build:
 test:
 	$(GO) test ./...
 
-# go vet plus the repo's own analyzer suite over every package. Cold:
+# Pool-debug build: compiles the fft pool with the cardopc_pooldebug
+# runtime guard, turning any double PutGrid / double Workspace.Release
+# into a panic. The runtime complement of the static poolcheck analyzer.
+test-pooldebug:
+	$(GO) test -tags cardopc_pooldebug ./internal/fft/
+
+# go vet plus the repo's own analyzer suite over every package —
+# including the dataflow passes (poolcheck, noalloc, obsguard). Cold:
 # the whole module is re-type-checked every run.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/cardopc-vet ./...
 
-# Incremental analyzer run for the edit loop: unchanged packages are
-# served from .cardopc-vet-cache, so only edited packages (and their
-# dependents) pay for type-checking. Same diagnostics as `make vet`.
+# Incremental analyzer run for the edit loop: the same full suite as
+# `make vet` (every analyzer registered in All(), dataflow passes
+# included), but unchanged packages are served from .cardopc-vet-cache,
+# so only edited packages (and their dependents) pay for type-checking.
 vet-fast:
 	$(GO) run ./cmd/cardopc-vet -incremental -timings ./...
 

@@ -1,7 +1,9 @@
 // Command cardopc-vet runs CardOPC's project-specific static-analysis
-// suite (internal/analysis) over the module: floatcmp, nanguard,
-// loopcapture, mutexcopy, errcheck-lite and bufalias. It is the same
-// gate selfcheck_test.go enforces under `go test ./...`, exposed as a
+// suite (internal/analysis) over the module — syntactic passes
+// (floatcmp, nanguard, loopcapture, mutexcopy, errcheck-lite, bufalias,
+// unitcheck, detorder, goleak) and the CFG-based dataflow passes
+// (poolcheck, noalloc, obsguard). It is the same gate
+// selfcheck_test.go enforces under `go test ./...`, exposed as a
 // binary so CI and humans share one tool.
 //
 // Usage:

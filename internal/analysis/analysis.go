@@ -85,6 +85,9 @@ func All() []*Analyzer {
 		UnitCheck,
 		DetOrder,
 		GoLeak,
+		PoolCheck,
+		NoAlloc,
+		ObsGuard,
 	}
 }
 

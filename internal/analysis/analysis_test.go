@@ -26,6 +26,9 @@ var fixtureCases = []struct {
 	{UnitCheck, "unitcheck"},
 	{DetOrder, "detorder"},
 	{GoLeak, "goleak"},
+	{PoolCheck, "poolcheck"},
+	{NoAlloc, "noalloc"},
+	{ObsGuard, "obsguard"},
 }
 
 var wantRe = regexp.MustCompile(`// want "([^"]*)"`)

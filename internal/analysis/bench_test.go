@@ -45,3 +45,30 @@ func BenchmarkVetWarm(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkVetDataflow measures the CFG-based passes (poolcheck,
+// noalloc, obsguard) over their own fixture packages, loaded and
+// type-checked once outside the loop: pure analysis cost — CFG
+// construction plus dataflow fixpoint plus reporting — which is the
+// marginal price the dataflow layer added to every cache miss.
+func BenchmarkVetDataflow(b *testing.B) {
+	dataflow := []*Analyzer{PoolCheck, NoAlloc, ObsGuard}
+	var mods []*Module
+	for _, name := range []string{"poolcheck", "noalloc", "obsguard"} {
+		mod, err := LoadDir(filepath.Join("testdata", "src", name), name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mods = append(mods, mod)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, mod := range mods {
+			n += len(Run(mod, dataflow))
+		}
+		if n == 0 {
+			b.Fatal("fixture packages produced no diagnostics")
+		}
+	}
+}

@@ -18,7 +18,7 @@ import (
 // CacheVersion is folded into every package cache key; bump it whenever
 // the Diagnostic encoding or analyzer semantics change in a way old
 // entries cannot represent.
-const CacheVersion = "cardopc-vet-cache-v1"
+const CacheVersion = "cardopc-vet-cache-v2"
 
 // DefaultCacheDirName is the cache directory cardopc-vet -incremental
 // uses under the module root when -cache-dir is not given.
@@ -73,6 +73,9 @@ func scanModule(root, modPath string) ([]*scannedPackage, error) {
 			data, err := os.ReadFile(path)
 			if err != nil {
 				return nil, err
+			}
+			if !buildTagIncluded(data) {
+				continue // mirror the loader: tag-excluded files are invisible
 			}
 			sum := sha256.Sum256(data)
 			sp.files = append(sp.files, e.Name())

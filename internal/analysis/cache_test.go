@@ -167,6 +167,34 @@ func TestIncrementalAnalyzerSetChange(t *testing.T) {
 	}
 }
 
+// TestIncrementalNewAnalyzerInvalidates pins the registration
+// contract for analyzer authors: adding an analyzer to the suite
+// changes every package's cache key, so a warm cache populated under
+// the old suite serves nothing — stale entries can never mask findings
+// of the newly added pass.
+func TestIncrementalNewAnalyzerInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	writeFixtureModule(t, dir)
+	cacheDir := filepath.Join(dir, ".cardopc-vet-cache")
+
+	base := []*Analyzer{FloatCmp, DetOrder}
+	runIncr(t, dir, cacheDir, base)
+	warm, _ := runIncr(t, dir, cacheDir, base)
+	if warm.Hits != 2 || warm.Misses != 0 {
+		t.Fatalf("base warm run: hits=%d misses=%d, want 2/0", warm.Hits, warm.Misses)
+	}
+
+	grown := append(append([]*Analyzer(nil), base...), PoolCheck)
+	res, _ := runIncr(t, dir, cacheDir, grown)
+	if res.Hits != 0 || res.Misses != 2 {
+		t.Fatalf("after adding an analyzer: hits=%d misses=%d, want 0/2", res.Hits, res.Misses)
+	}
+	res, _ = runIncr(t, dir, cacheDir, grown)
+	if res.Hits != 2 || res.Misses != 0 {
+		t.Fatalf("grown warm run: hits=%d misses=%d, want 2/0", res.Hits, res.Misses)
+	}
+}
+
 // TestIncrementalAllowlistStale pins the contract that cached entries
 // hold diagnostics from *before* allowlist-file filtering: an allow
 // entry keeps matching across warm runs, and once the underlying

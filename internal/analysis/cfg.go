@@ -1,0 +1,459 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the intra-procedural control-flow layer shared by the
+// dataflow analyzers (poolcheck and friends). BuildCFG flattens Go's
+// structured control flow — if/else, for, range, switch, type switch,
+// select, labeled break/continue, return, panic — into basic blocks
+// holding the statements and condition expressions that execute
+// straight-line, connected by directed edges.
+//
+// Design choices, all biased toward the analyzers that consume the
+// graph:
+//
+//   - Composite statements never appear as block nodes; only their
+//     leaf parts do (an if contributes its Init and Cond, a range its
+//     X expression). Clients may therefore walk every node of a block
+//     without re-entering nested bodies.
+//   - Function literals are opaque: their bodies are not flattened into
+//     the enclosing graph. Analyzers treat each literal as its own
+//     function, mirroring how the AST-walk analyzers recurse.
+//   - A call that cannot return (panic, os.Exit, runtime.Goexit)
+//     terminates its block with no successors, so resource obligations
+//     are not enforced on crash paths.
+//   - There is exactly one Exit block, always the last entry of
+//     Blocks. Every return statement edges to it, as does the
+//     fall-off-the-end path of a function without a trailing return.
+
+// Block is one basic block: nodes that execute consecutively, then a
+// transfer of control along one of Succs.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (creation order;
+	// Exit is renumbered last).
+	Index int
+	// Kind describes the block's role ("entry", "exit", "if.then",
+	// "for.head", "switch.case", ...) for tests and debug output.
+	Kind string
+	// Nodes are the statements and condition expressions of the block
+	// in execution order. Nodes never include composite statements.
+	Nodes []ast.Node
+	// Succs are the possible control-flow successors.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block; Blocks[0] is Entry, the last is Exit.
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// loopFrame is one enclosing breakable/continuable construct during
+// construction.
+type loopFrame struct {
+	label        string // enclosing label, "" when unlabeled
+	brk          *Block // break target (nil for constructs without one)
+	cont         *Block // continue target (nil for switch/select)
+	continueable bool
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block // nil while control cannot reach the next statement
+	frames []loopFrame
+	label  string // pending label for the next loop/switch statement
+}
+
+// BuildCFG constructs the control-flow graph of body. A nil body (a
+// declared-only function) yields a two-block entry→exit graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	entry := b.newBlock("entry")
+	b.cfg.Entry = entry
+	b.cur = entry
+	exit := &Block{Kind: "exit"}
+	b.cfg.Exit = exit
+	if body != nil {
+		b.stmts(body.List)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, exit) // fall off the end
+	}
+	exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block, materialising an unreachable
+// block for dead code so its nodes still exist somewhere deterministic.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// findFrame resolves the innermost frame matching label (or any frame
+// when label is empty) that satisfies need.
+func (b *cfgBuilder) findFrame(label string, needContinue bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needContinue && !f.continueable {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// Any statement other than a loop/switch consumes a pending label.
+	switch s.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+	default:
+		b.label = ""
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, "switch")
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, "typeswitch")
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.edge(b.cur, b.cfg.Exit)
+		}
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.cur = nil // panic / os.Exit: no successors
+		}
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	join := &Block{Kind: "if.join"} // appended after the branches
+	then := b.newBlock("if.then")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, join)
+	}
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	} else {
+		b.edge(cond, join)
+	}
+	join.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.label
+	b.label = ""
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+	}
+	exit := b.newBlock("for.exit")
+	if s.Cond != nil {
+		b.edge(head, exit)
+	}
+	cont := head
+	if post != nil {
+		cont = post
+		b.edge(post, head)
+	}
+	body := b.newBlock("for.body")
+	b.edge(head, body)
+	b.frames = append(b.frames, loopFrame{label: label, brk: exit, cont: cont, continueable: true})
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, cont)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.label
+	b.label = ""
+	head := b.newBlock("range.head")
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	head.Nodes = append(head.Nodes, s.X)
+	exit := b.newBlock("range.exit")
+	b.edge(head, exit)
+	body := b.newBlock("range.body")
+	b.edge(head, body)
+	b.frames = append(b.frames, loopFrame{label: label, brk: exit, cont: head, continueable: true})
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+// switchStmt flattens value and type switches: the tag evaluates in the
+// current block, each clause gets its own block reachable from there,
+// and fallthrough edges the clause to its successor clause.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, kind string) {
+	label := b.label
+	b.label = ""
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	join := &Block{Kind: kind + ".join"}
+	b.frames = append(b.frames, loopFrame{label: label, brk: join})
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock(kind + ".case")
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		stmts := cc.Body
+		fall := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fall = true
+				stmts = stmts[:n-1]
+			}
+		}
+		b.stmts(stmts)
+		if b.cur != nil {
+			if fall && i+1 < len(blocks) {
+				b.edge(b.cur, blocks[i+1])
+			} else {
+				b.edge(b.cur, join)
+			}
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	join.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.label
+	b.label = ""
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+	}
+	join := &Block{Kind: "select.join"}
+	b.frames = append(b.frames, loopFrame{label: label, brk: join})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("select.case")
+		b.edge(head, blk)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.cur = blk
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	join.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findFrame(label, false); f != nil && f.brk != nil && b.cur != nil {
+			b.edge(b.cur, f.brk)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if f := b.findFrame(label, true); f != nil && f.cont != nil && b.cur != nil {
+			b.edge(b.cur, f.cont)
+		}
+		b.cur = nil
+	case token.GOTO:
+		// No goto in this codebase; treated conservatively as an exit
+		// so downstream obligations are not misreported.
+		if b.cur != nil {
+			b.edge(b.cur, b.cfg.Exit)
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled structurally in switchStmt; a stray one (nested in a
+		// block) is ignored.
+	}
+}
+
+// isTerminalCall reports whether e is a call that never returns:
+// panic(...), os.Exit(...) or runtime.Goexit().
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			return (pkg.Name == "os" && fun.Sel.Name == "Exit") ||
+				(pkg.Name == "runtime" && fun.Sel.Name == "Goexit")
+		}
+	}
+	return false
+}
+
+// ForwardDataflow runs a forward may-analysis over cfg to fixpoint.
+// States are client-defined: init produces the entry state (and the
+// bottom state for unseeded blocks), clone deep-copies a state before
+// transfer may mutate it, transfer folds one block's nodes into a
+// state, and merge joins a predecessor's out-state into a successor's
+// in-state, reporting whether anything changed. The returned map holds
+// each reachable block's fixpoint in-state; unreachable blocks are
+// absent.
+//
+// Termination is the client's obligation: merge must be monotone over a
+// finite-height lattice (the analyzers here use small bitsets joined by
+// union, so the bound is trivial).
+func ForwardDataflow[S any](cfg *CFG, init func() S, clone func(S) S, transfer func(*Block, S) S, merge func(into, from S) bool) map[*Block]S {
+	in := map[*Block]S{cfg.Entry: init()}
+	work := []*Block{cfg.Entry}
+	queued := map[*Block]bool{cfg.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := transfer(blk, clone(in[blk]))
+		for _, succ := range blk.Succs {
+			st, ok := in[succ]
+			if !ok {
+				st = init()
+				in[succ] = st
+			}
+			if merge(st, out) || !ok {
+				if !queued[succ] {
+					queued[succ] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+	return in
+}

@@ -234,8 +234,11 @@ func isSourceFile(e os.DirEntry) bool {
 	return !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
 }
 
-// parseDir parses every non-test .go file in dir into one Package (nil
-// when the directory holds no sources).
+// parseDir parses every non-test .go file in dir that survives build
+// constraints into one Package (nil when the directory holds no
+// sources). Tag-excluded files (//go:build cardopc_pooldebug and
+// friends) are skipped exactly as `go build` would skip them, so
+// build-variant file pairs do not redeclare symbols at type-check.
 func parseDir(fset *token.FileSet, dir string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -246,7 +249,15 @@ func parseDir(fset *token.FileSet, dir string) (*Package, error) {
 		if !isSourceFile(e) {
 			continue
 		}
-		file, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if !buildTagIncluded(src) {
+			continue
+		}
+		file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}

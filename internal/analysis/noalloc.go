@@ -1,0 +1,356 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc statically audits functions annotated with a
+// `//cardopc:noalloc` doc-comment directive for allocation sites. It is
+// the static complement to the AllocsPerRun pins: the runtime pins
+// catch a regression after the fact on the paths a test happens to
+// drive, the analyzer points at the exact expression on every path.
+//
+// Flagged sites inside an annotated function (closure bodies included —
+// they run as part of the function's work):
+//   - make(...) and new(...)
+//   - slice, map and pointer composite literals (&T{...}); plain value
+//     struct literals stay on the stack and are not flagged
+//   - append(...) — any append can grow
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - interface boxing: a concrete non-pointer value passed to an
+//     interface parameter or returned as an interface
+//   - function literals that capture enclosing variables (the closure
+//     context escapes to the heap)
+//
+// Two idioms of the hot path are exempt by construction rather than by
+// allow-comment:
+//   - branches guarded by an Enabled() call — the obs slow path, pinned
+//     separately by internal/obs/alloc_test.go;
+//   - if-bodies that end in panic(...) — size-guard panics allocate
+//     their message exactly once, on the crash path.
+//
+// Calls into the obs package are also exempt from the boxing check: its
+// API takes interface values but the disabled path is pinned to zero
+// allocations by its own tests.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocation sites inside functions annotated //cardopc:noalloc",
+	Run:  runNoAlloc,
+}
+
+// noallocDirective marks a function whose body must not allocate in
+// steady state.
+const noallocDirective = "//cardopc:noalloc"
+
+func runNoAlloc(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasNoallocDirective(fn.Doc) {
+				continue
+			}
+			na := &noallocChecker{pass: pass, fn: fn}
+			na.walk(fn.Body)
+		}
+	}
+}
+
+func hasNoallocDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), noallocDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+type noallocChecker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+}
+
+// walk descends the body flagging allocation sites, pruning the exempt
+// branches.
+func (na *noallocChecker) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.IfStmt:
+			if na.exemptIf(m) {
+				// Walk only the condition and the else branch; the
+				// guarded body is the cold path.
+				if m.Init != nil {
+					na.walk(m.Init)
+				}
+				na.walk(m.Cond)
+				na.walk(m.Else)
+				return false
+			}
+		case *ast.CallExpr:
+			na.call(m)
+		case *ast.CompositeLit:
+			na.compositeLit(m)
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				if _, ok := ast.Unparen(m.X).(*ast.CompositeLit); ok {
+					na.pass.Reportf(m.Pos(), "&composite literal allocates in //cardopc:noalloc function %s", na.fn.Name.Name)
+					return false // inner literal already covered
+				}
+			}
+		case *ast.BinaryExpr:
+			if m.Op == token.ADD && na.isString(m.X) {
+				na.pass.Reportf(m.OpPos, "string concatenation allocates in //cardopc:noalloc function %s", na.fn.Name.Name)
+			}
+		case *ast.FuncLit:
+			if na.captures(m) {
+				na.pass.Reportf(m.Pos(), "closure captures enclosing variables and allocates its context in //cardopc:noalloc function %s", na.fn.Name.Name)
+			}
+		case *ast.ReturnStmt:
+			na.returnBoxing(m)
+		}
+		return true
+	})
+}
+
+// exemptIf prunes the two blessed cold branches: Enabled()-guarded obs
+// slow paths and size-guard panics.
+func (na *noallocChecker) exemptIf(s *ast.IfStmt) bool {
+	if condCallsEnabled(s.Cond) {
+		return true
+	}
+	if n := len(s.Body.List); n > 0 {
+		if es, ok := s.Body.List[n-1].(*ast.ExprStmt); ok {
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condCallsEnabled reports whether the expression contains a call to
+// something named Enabled — the obs gate.
+func condCallsEnabled(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := calleeName(call); ok && name == "Enabled" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (na *noallocChecker) call(call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := na.pass.ObjectOf(fun); obj != nil {
+			if b, ok := obj.(*types.Builtin); ok {
+				switch b.Name() {
+				case "make":
+					na.pass.Reportf(call.Pos(), "make allocates in //cardopc:noalloc function %s; draw from a pool or reuse scratch", na.fn.Name.Name)
+				case "new":
+					na.pass.Reportf(call.Pos(), "new allocates in //cardopc:noalloc function %s", na.fn.Name.Name)
+				case "append":
+					na.pass.Reportf(call.Pos(), "append may grow its backing array in //cardopc:noalloc function %s; size the buffer up front", na.fn.Name.Name)
+				}
+				return
+			}
+		}
+	}
+	if na.isStringByteConversion(call) {
+		na.pass.Reportf(call.Pos(), "string/byte-slice conversion copies its data in //cardopc:noalloc function %s", na.fn.Name.Name)
+		return
+	}
+	na.argBoxing(call)
+}
+
+func (na *noallocChecker) compositeLit(lit *ast.CompositeLit) {
+	t := na.pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		na.pass.Reportf(lit.Pos(), "slice literal allocates in //cardopc:noalloc function %s", na.fn.Name.Name)
+	case *types.Map:
+		na.pass.Reportf(lit.Pos(), "map literal allocates in //cardopc:noalloc function %s", na.fn.Name.Name)
+	}
+}
+
+// argBoxing flags concrete non-pointer values passed to interface
+// parameters. Calls into the obs package are exempt: its variadic
+// attribute API is pinned allocation-free when disabled by its own
+// tests, and the enabled path is the cold one.
+func (na *noallocChecker) argBoxing(call *ast.CallExpr) {
+	sig := na.signatureOf(call)
+	if sig == nil || na.isObsCall(call) {
+		return
+	}
+	params := sig.Params()
+	n := params.Len()
+	for i, arg := range call.Args {
+		if i >= n {
+			break
+		}
+		pt := params.At(i).Type()
+		if sig.Variadic() && i == n-1 {
+			break // variadic packing is judged by the obs exemption or pins
+		}
+		na.boxingCheck(arg, pt, "argument")
+	}
+}
+
+func (na *noallocChecker) returnBoxing(r *ast.ReturnStmt) {
+	sig := na.funcSignature()
+	if sig == nil {
+		return
+	}
+	res := sig.Results()
+	if res.Len() != len(r.Results) {
+		return
+	}
+	for i, e := range r.Results {
+		na.boxingCheck(e, res.At(i).Type(), "return value")
+	}
+}
+
+// boxingCheck reports e when assigning it to target boxes a concrete
+// non-pointer value into an interface.
+func (na *noallocChecker) boxingCheck(e ast.Expr, target types.Type, what string) {
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	at := na.pass.TypeOf(e)
+	if at == nil {
+		return
+	}
+	switch at.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Signature, *types.Chan, *types.Map, *types.Slice:
+		return // no boxing, or the value is already a single word
+	}
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	na.pass.Reportf(e.Pos(), "%s boxes a concrete value into an interface and may allocate in //cardopc:noalloc function %s", what, na.fn.Name.Name)
+}
+
+func (na *noallocChecker) signatureOf(call *ast.CallExpr) *types.Signature {
+	t := na.pass.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+func (na *noallocChecker) funcSignature() *types.Signature {
+	obj := na.pass.ObjectOf(na.fn.Name)
+	if obj == nil {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig
+}
+
+// isObsCall reports whether the callee lives in a package named "obs"
+// (obs.Emit, obs.StartOn, span.End, counter.Inc, ...).
+func (na *noallocChecker) isObsCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := na.pass.ObjectOf(id).(*types.PkgName); ok {
+			return pn.Imported().Name() == "obs"
+		}
+	}
+	if obj := na.pass.ObjectOf(sel.Sel); obj != nil && obj.Pkg() != nil {
+		return obj.Pkg().Name() == "obs"
+	}
+	return false
+}
+
+// isStringByteConversion reports string([]byte), []byte(string) and the
+// rune variants — conversions that copy.
+func (na *noallocChecker) isStringByteConversion(call *ast.CallExpr) bool {
+	tv, ok := na.pass.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	dst := tv.Type.Underlying()
+	src := na.pass.TypeOf(call.Args[0])
+	if src == nil {
+		return false
+	}
+	srcU := src.Underlying()
+	if isStringType(dst) && isByteOrRuneSlice(srcU) {
+		return true
+	}
+	if isByteOrRuneSlice(dst) && isStringType(srcU) {
+		return true
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// captures reports whether lit references variables declared outside
+// its own body (receiver, parameters or locals of the enclosing
+// function) — the condition under which the closure context escapes.
+func (na *noallocChecker) captures(lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		obj := na.pass.ObjectOf(id)
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captured; a variable declared
+		// before the literal but inside the enclosing function is.
+		if v.Parent() == nil || v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+func (na *noallocChecker) isString(e ast.Expr) bool {
+	t := na.pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	return isStringType(t.Underlying())
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsGuard pins the PR 4 zero-overhead-when-disabled contract at its
+// weakest point: telemetry emission inside hot loops. obs.Emit itself
+// is nil-safe, but the record it receives (&obs.ILTIter{...}) is built
+// unconditionally — an unguarded Emit in a descent loop allocates a
+// record per iteration even when telemetry is off. The convention,
+// followed by ilt and bigopc, is
+//
+//	if span.Enabled() {            // or obs.Enabled()
+//		obs.Emit(&obs.ILTIter{...})
+//	}
+//
+// so the record construction is skipped entirely on the disabled path.
+// ObsGuard flags any call to obs's Emit lexically inside a for/range
+// loop that is not inside the body of an if whose condition calls
+// something named Enabled. Function literals are separate functions: an
+// Emit inside a worker closure is judged against the loops of that
+// closure, which is exactly how the cost accrues at runtime.
+var ObsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc:  "require obs.Emit calls in loops to sit behind an Enabled() guard",
+	Run:  runObsGuard,
+}
+
+func runObsGuard(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				og := &obsGuardChecker{pass: pass}
+				og.walkStmt(body, false, false)
+			}
+			return true
+		})
+	}
+}
+
+type obsGuardChecker struct {
+	pass *Pass
+}
+
+// walkStmt descends statements tracking loop depth and guard coverage.
+func (og *obsGuardChecker) walkStmt(n ast.Node, inLoop, guarded bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.BlockStmt:
+		for _, s := range n.List {
+			og.walkStmt(s, inLoop, guarded)
+		}
+	case *ast.ForStmt:
+		og.checkExpr(n.Cond, inLoop, guarded)
+		og.walkStmt(n.Init, inLoop, guarded)
+		og.walkStmt(n.Post, true, guarded)
+		og.walkStmt(n.Body, true, guarded)
+	case *ast.RangeStmt:
+		og.checkExpr(n.X, inLoop, guarded)
+		og.walkStmt(n.Body, true, guarded)
+	case *ast.IfStmt:
+		og.walkStmt(n.Init, inLoop, guarded)
+		og.checkExpr(n.Cond, inLoop, guarded)
+		if condCallsEnabled(n.Cond) {
+			og.walkStmt(n.Body, inLoop, true)
+		} else {
+			og.walkStmt(n.Body, inLoop, guarded)
+		}
+		og.walkStmt(n.Else, inLoop, guarded)
+	case *ast.SwitchStmt:
+		og.walkStmt(n.Init, inLoop, guarded)
+		og.checkExpr(n.Tag, inLoop, guarded)
+		og.walkStmt(n.Body, inLoop, guarded)
+	case *ast.TypeSwitchStmt:
+		og.walkStmt(n.Init, inLoop, guarded)
+		og.walkStmt(n.Assign, inLoop, guarded)
+		og.walkStmt(n.Body, inLoop, guarded)
+	case *ast.SelectStmt:
+		og.walkStmt(n.Body, inLoop, guarded)
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			og.checkExpr(e, inLoop, guarded)
+		}
+		for _, s := range n.Body {
+			og.walkStmt(s, inLoop, guarded)
+		}
+	case *ast.CommClause:
+		og.walkStmt(n.Comm, inLoop, guarded)
+		for _, s := range n.Body {
+			og.walkStmt(s, inLoop, guarded)
+		}
+	case *ast.LabeledStmt:
+		og.walkStmt(n.Stmt, inLoop, guarded)
+	case *ast.ExprStmt:
+		og.checkExpr(n.X, inLoop, guarded)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			og.checkExpr(e, inLoop, guarded)
+		}
+		for _, e := range n.Lhs {
+			og.checkExpr(e, inLoop, guarded)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			og.checkExpr(e, inLoop, guarded)
+		}
+	case *ast.DeferStmt:
+		og.checkExpr(n.Call, inLoop, guarded)
+	case *ast.GoStmt:
+		og.checkExpr(n.Call, inLoop, guarded)
+	case *ast.SendStmt:
+		og.checkExpr(n.Chan, inLoop, guarded)
+		og.checkExpr(n.Value, inLoop, guarded)
+	case *ast.IncDecStmt:
+		og.checkExpr(n.X, inLoop, guarded)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						og.checkExpr(v, inLoop, guarded)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkExpr scans an expression for Emit calls, skipping nested
+// function literals (they are their own functions).
+func (og *obsGuardChecker) checkExpr(e ast.Expr, inLoop, guarded bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if inLoop && !guarded && og.isObsEmit(call) {
+			og.pass.Reportf(call.Pos(), "obs.Emit in a loop without an Enabled() guard; the record allocates even when telemetry is disabled")
+		}
+		return true
+	})
+}
+
+// isObsEmit matches Emit calls belonging to the obs package: the
+// qualified obs.Emit form, or a callee whose object lives in a package
+// named obs (covers dot-imports and telemetry handles in fixtures).
+func (og *obsGuardChecker) isObsEmit(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Emit" {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := og.pass.ObjectOf(id).(*types.PkgName); ok {
+			return pn.Imported().Name() == "obs"
+		}
+		if id.Name == "obs" {
+			return true // fixture stub: a value named obs with an Emit method
+		}
+	}
+	if obj := og.pass.ObjectOf(sel.Sel); obj != nil && obj.Pkg() != nil {
+		return obj.Pkg().Name() == "obs"
+	}
+	return false
+}

@@ -1,0 +1,573 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolCheck enforces the pooled-buffer lifetime discipline the PR 5 hot
+// path depends on. Values acquired from the fft pools — GetGrid,
+// GetWorkspace, NewForwardCache — are manually managed: every acquire
+// must reach a matching PutGrid/Release on every exit path, must not be
+// released twice, must not be used after release, and must not leak out
+// of the acquiring function unnoticed.
+//
+// The analyzer runs the shared CFG + forward-dataflow layer (cfg.go)
+// per function, tracking each acquired local through branches with a
+// small may-bitset (live/released/escaped/deferred). Matching is
+// name-based — any call to a function or method named GetGrid,
+// GetWorkspace or NewForwardCache acquires; PutGrid(x) or a zero-arg
+// x.Release() releases — so fixtures and future pools are covered
+// without hard-coding package paths.
+//
+// Ownership-transfer conventions the analyzer blesses silently:
+//   - `slice[i] = x` hands the value to the slice owner (the litho
+//     worker pattern: wss[w] = ws inside a goroutine, drained and
+//     released by the launcher after wg.Wait).
+//   - `defer PutGrid(x)` / `defer x.Release()` (directly or inside a
+//     deferred closure) satisfies the release obligation on every path.
+//
+// Everything else that moves a pooled value out of the function —
+// return, struct-field store, goroutine capture, storing the acquire
+// result anywhere but a fresh local — is reported; intentional
+// hand-offs carry a //cardopc:allow poolcheck with the contract.
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "track pooled fft buffers through branches; flag leaks, double releases, use-after-release and escapes",
+	Run:  runPoolCheck,
+}
+
+// poolAcquireNames are the pool entry points whose results carry a
+// release obligation.
+var poolAcquireNames = map[string]bool{
+	"GetGrid":         true,
+	"GetWorkspace":    true,
+	"NewForwardCache": true,
+}
+
+const (
+	poolLive     uint8 = 1 << iota // acquired, not yet released on some path
+	poolReleased                   // released on some path
+	poolEscaped                    // ownership handed off (return/store/goroutine)
+	poolDeferred                   // release deferred; fires on every exit
+)
+
+// poolFact is the per-variable dataflow fact: the may-bits plus the
+// acquire site, so leak diagnostics land on the acquire.
+type poolFact struct {
+	bits uint8
+	pos  token.Pos
+}
+
+type poolState map[types.Object]poolFact
+
+func runPoolCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body // analyzed as its own function
+			default:
+				return true
+			}
+			if body != nil {
+				pc := &poolChecker{pass: pass, body: body, seen: map[string]bool{}}
+				pc.run()
+			}
+			return true
+		})
+	}
+}
+
+type poolChecker struct {
+	pass *Pass
+	body *ast.BlockStmt
+	// seen dedupes diagnostics: leak reports land on the acquire
+	// position, which several exit paths can reach.
+	seen   map[string]bool
+	report bool
+}
+
+func (pc *poolChecker) run() {
+	// Cheap pre-scan: skip the CFG machinery for the vast majority of
+	// functions that never touch a pool.
+	touches := false
+	ast.Inspect(pc.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := calleeName(call); ok && poolAcquireNames[name] {
+				touches = true
+			}
+		}
+		return !touches
+	})
+	if !touches {
+		return
+	}
+
+	cfg := BuildCFG(pc.body)
+	in := ForwardDataflow(cfg,
+		func() poolState { return poolState{} },
+		func(s poolState) poolState {
+			c := make(poolState, len(s))
+			for k, v := range s {
+				c[k] = v
+			}
+			return c
+		},
+		func(b *Block, s poolState) poolState {
+			pc.report = false
+			pc.block(b, s)
+			return s
+		},
+		func(into, from poolState) bool {
+			changed := false
+			for k, f := range from {
+				g, ok := into[k]
+				nb := g.bits | f.bits
+				if !ok || nb != g.bits {
+					pos := g.pos
+					if pos == token.NoPos {
+						pos = f.pos
+					}
+					into[k] = poolFact{bits: nb, pos: pos}
+					changed = true
+				}
+			}
+			return changed
+		},
+	)
+
+	// Report pass: walk each reachable block once with its fixpoint
+	// in-state, now emitting diagnostics.
+	pc.report = true
+	for _, b := range cfg.Blocks {
+		st, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		s := make(poolState, len(st))
+		for k, v := range st {
+			s[k] = v
+		}
+		pc.block(b, s)
+		// A block that falls off the end of the function (edges to Exit
+		// without a return) is an implicit return: same leak check.
+		if fallsToExit(b, cfg.Exit) {
+			pc.leakCheck(s)
+		}
+	}
+}
+
+// fallsToExit reports whether b reaches Exit by running off the end of
+// the body rather than via an explicit return.
+func fallsToExit(b *Block, exit *Block) bool {
+	toExit := false
+	for _, s := range b.Succs {
+		if s == exit {
+			toExit = true
+		}
+	}
+	if !toExit {
+		return false
+	}
+	if n := len(b.Nodes); n > 0 {
+		if _, isRet := b.Nodes[n-1].(*ast.ReturnStmt); isRet {
+			return false
+		}
+	}
+	return true
+}
+
+func (pc *poolChecker) block(b *Block, st poolState) {
+	for _, n := range b.Nodes {
+		pc.node(n, st)
+	}
+}
+
+func (pc *poolChecker) reportf(pos token.Pos, format string, args ...any) {
+	if !pc.report {
+		return
+	}
+	key := pc.pass.Fset.Position(pos).String() + format
+	if pc.seen[key] {
+		return
+	}
+	pc.seen[key] = true
+	pc.pass.Reportf(pos, format, args...)
+}
+
+func (pc *poolChecker) node(n ast.Node, st poolState) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		pc.assign(n, st)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i := range vs.Names {
+					pc.assignOne(vs.Names[i], vs.Values[i], st)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		pc.expr(n.X, st, true)
+	case *ast.DeferStmt:
+		pc.deferStmt(n, st)
+	case *ast.GoStmt:
+		pc.goStmt(n, st)
+	case *ast.ReturnStmt:
+		pc.returnStmt(n, st)
+	case ast.Expr:
+		pc.expr(n, st, false)
+	default:
+		pc.uses(n, st)
+	}
+}
+
+// assign handles one assignment statement: acquires bind obligations,
+// stores may transfer or escape ownership, everything else is a use.
+func (pc *poolChecker) assign(as *ast.AssignStmt, st poolState) {
+	if len(as.Lhs) != len(as.Rhs) {
+		for _, r := range as.Rhs {
+			pc.expr(r, st, false)
+		}
+		for _, l := range as.Lhs {
+			if _, ok := l.(*ast.Ident); !ok {
+				pc.uses(l, st)
+			}
+		}
+		return
+	}
+	for i := range as.Rhs {
+		pc.assignOne(as.Lhs[i], as.Rhs[i], st)
+	}
+}
+
+func (pc *poolChecker) assignOne(lhs, rhs ast.Expr, st poolState) {
+	rhs = ast.Unparen(rhs)
+	if call, ok := rhs.(*ast.CallExpr); ok && isPoolAcquire(call) {
+		name, _ := calleeName(call)
+		for _, a := range call.Args {
+			pc.expr(a, st, false)
+		}
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				pc.reportf(call.Pos(), "result of %s discarded; the pooled value can never be released", name)
+				return
+			}
+			obj := pc.pass.ObjectOf(l)
+			if obj == nil {
+				return
+			}
+			if f, ok := st[obj]; ok && f.bits&poolLive != 0 {
+				pc.reportf(call.Pos(), "%s overwrites %s while it still holds a live pooled value; release it first", name, l.Name)
+			}
+			st[obj] = poolFact{bits: poolLive, pos: call.Pos()}
+		default:
+			pc.reportf(call.Pos(), "result of %s stored directly into a non-local; bind it to a local so its release can be tracked", name)
+			pc.uses(lhs, st)
+		}
+		return
+	}
+	if lit, ok := rhs.(*ast.FuncLit); ok {
+		pc.closureEscape(lit, st, "captured by a closure stored in a variable")
+		return
+	}
+	// A tracked local moved into a container or field.
+	if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+		if obj := pc.pass.ObjectOf(id); obj != nil {
+			if f, ok := st[obj]; ok {
+				pc.checkUse(id, f)
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					pc.reportf(rhs.Pos(), "pooled value %s escapes into field %s; the release obligation is no longer local", id.Name, l.Sel.Name)
+					f.bits |= poolEscaped
+					st[obj] = f
+					pc.uses(l.X, st)
+					return
+				case *ast.IndexExpr:
+					// Blessed hand-off: the slice owner drains and
+					// releases (litho worker pattern).
+					f.bits |= poolEscaped
+					st[obj] = f
+					pc.uses(l.X, st)
+					pc.uses(l.Index, st)
+					return
+				}
+			}
+		}
+	}
+	pc.expr(rhs, st, false)
+	if _, ok := lhs.(*ast.Ident); !ok {
+		pc.uses(lhs, st)
+	}
+}
+
+// expr folds an expression into the state: releases flip bits, calls
+// borrow their arguments, a bare acquire is a leak on the spot.
+func (pc *poolChecker) expr(e ast.Expr, st poolState, stmtCtx bool) {
+	e = ast.Unparen(e)
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		pc.uses(e, st)
+		return
+	}
+	if isPoolAcquire(call) {
+		name, _ := calleeName(call)
+		if stmtCtx {
+			pc.reportf(call.Pos(), "result of %s discarded; the pooled value can never be released", name)
+		}
+		// In a larger expression the result escapes into the parent;
+		// uses below still check the arguments.
+		for _, a := range call.Args {
+			pc.expr(a, st, false)
+		}
+		return
+	}
+	if obj := pc.releaseTarget(call); obj != nil {
+		// Only releases of values this function acquired are in scope;
+		// draining a slice of handed-off workspaces (the range-var
+		// ws.Release() pattern) is the owner's business.
+		if f, tracked := st[obj]; tracked {
+			if f.bits&poolReleased != 0 && f.bits&poolLive == 0 {
+				pc.reportf(call.Pos(), "pooled value %s released twice", releaseArgName(call))
+			}
+			f.bits = (f.bits &^ poolLive) | poolReleased
+			st[obj] = f
+		}
+		return
+	}
+	// Ordinary call: arguments are borrows. Synchronous closures
+	// (parallelRows, sort.Slice) may use tracked values but do not take
+	// ownership; releases stay with the caller.
+	pc.uses(call.Fun, st)
+	for _, a := range call.Args {
+		if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+			pc.borrowUses(lit, st)
+			continue
+		}
+		pc.expr(a, st, false)
+	}
+}
+
+// releaseTarget resolves PutGrid(x) / x.Release() to the tracked object
+// being released, or nil.
+func (pc *poolChecker) releaseTarget(call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "PutGrid" && len(call.Args) == 1 {
+			return pc.trackedIdent(call.Args[0])
+		}
+		if fun.Sel.Name == "Release" && len(call.Args) == 0 {
+			return pc.trackedIdent(fun.X)
+		}
+	case *ast.Ident:
+		if fun.Name == "PutGrid" && len(call.Args) == 1 {
+			return pc.trackedIdent(call.Args[0])
+		}
+	}
+	return nil
+}
+
+// releaseArgName names the released value for diagnostics.
+func releaseArgName(call *ast.CallExpr) string {
+	var e ast.Expr
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Release" {
+			e = fun.X
+		} else if len(call.Args) == 1 {
+			e = call.Args[0]
+		}
+	case *ast.Ident:
+		if len(call.Args) == 1 {
+			e = call.Args[0]
+		}
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "value"
+}
+
+// trackedIdent resolves e to an identifier's object when e is a plain
+// local name; release through anything else is out of scope.
+func (pc *poolChecker) trackedIdent(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pc.pass.ObjectOf(id)
+}
+
+// deferStmt credits deferred releases: they run on every exit path, so
+// the obligation is satisfied while the value stays usable.
+func (pc *poolChecker) deferStmt(d *ast.DeferStmt, st poolState) {
+	if obj := pc.releaseTarget(d.Call); obj != nil {
+		if f, tracked := st[obj]; tracked {
+			f.bits |= poolDeferred
+			st[obj] = f
+		}
+		return
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		// defer func() { ... PutGrid(x) ... }(): scan for releases of
+		// tracked outer locals; other uses inside are borrows.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj := pc.releaseTarget(call); obj != nil {
+				if _, tracked := st[obj]; tracked {
+					f := st[obj]
+					f.bits |= poolDeferred
+					st[obj] = f
+				}
+			}
+			return true
+		})
+		return
+	}
+	pc.uses(d.Call, st)
+}
+
+// goStmt flags tracked values crossing into a goroutine: the pool
+// discipline is single-owner, and a concurrent borrower outliving the
+// release is exactly the bug class poolcheck exists for.
+func (pc *poolChecker) goStmt(g *ast.GoStmt, st poolState) {
+	reported := map[types.Object]bool{}
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pc.pass.ObjectOf(id)
+		if obj == nil || reported[obj] {
+			return true
+		}
+		if f, ok := st[obj]; ok {
+			reported[obj] = true
+			pc.reportf(id.Pos(), "pooled value %s captured by goroutine; its lifetime is no longer bounded by this function", id.Name)
+			f.bits |= poolEscaped
+			st[obj] = f
+		}
+		return true
+	})
+}
+
+func (pc *poolChecker) returnStmt(r *ast.ReturnStmt, st poolState) {
+	for _, res := range r.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := pc.pass.ObjectOf(id); obj != nil {
+				if f, ok := st[obj]; ok {
+					if f.bits&poolLive != 0 {
+						pc.reportf(id.Pos(), "pooled value %s returned; ownership moves to the caller", id.Name)
+						f.bits |= poolEscaped
+						st[obj] = f
+					} else {
+						pc.checkUse(id, f)
+					}
+				}
+			}
+			return true
+		})
+	}
+	pc.leakCheck(st)
+}
+
+// leakCheck fires at an exit path for every value still carrying an
+// unsatisfied release obligation. The diagnostic lands on the acquire.
+func (pc *poolChecker) leakCheck(st poolState) {
+	for obj, f := range st {
+		if f.bits&poolLive != 0 && f.bits&(poolDeferred|poolEscaped) == 0 {
+			pc.reportf(f.pos, "pooled value %s acquired here is not released on every exit path", obj.Name())
+		}
+	}
+}
+
+// uses walks an arbitrary subtree checking tracked identifiers for
+// use-after-release; function literals encountered here capture their
+// environment and so count as escapes.
+func (pc *poolChecker) uses(n ast.Node, st poolState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			pc.closureEscape(m, st, "captured by a closure that outlives this statement")
+			return false
+		case *ast.Ident:
+			if obj := pc.pass.ObjectOf(m); obj != nil {
+				if f, ok := st[obj]; ok {
+					pc.checkUse(m, f)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// borrowUses checks uses inside a closure passed synchronously to a
+// call: values are borrowed, not captured, so only use-after-release
+// applies.
+func (pc *poolChecker) borrowUses(lit *ast.FuncLit, st poolState) {
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := pc.pass.ObjectOf(id); obj != nil {
+				if f, ok := st[obj]; ok {
+					pc.checkUse(id, f)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// closureEscape reports tracked values captured by a closure whose
+// lifetime the analyzer cannot bound (assigned, returned, stored).
+func (pc *poolChecker) closureEscape(lit *ast.FuncLit, st poolState, how string) {
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pc.pass.ObjectOf(id)
+		if obj == nil || reported[obj] {
+			return true
+		}
+		if f, ok := st[obj]; ok {
+			reported[obj] = true
+			pc.reportf(id.Pos(), "pooled value %s %s; its release can no longer be verified", id.Name, how)
+			f.bits |= poolEscaped
+			st[obj] = f
+		}
+		return true
+	})
+}
+
+func (pc *poolChecker) checkUse(id *ast.Ident, f poolFact) {
+	if f.bits&poolReleased != 0 && f.bits&poolLive == 0 {
+		pc.reportf(id.Pos(), "pooled value %s used after release", id.Name)
+	}
+}
+
+// isPoolAcquire reports whether call is one of the pool entry points.
+func isPoolAcquire(call *ast.CallExpr) bool {
+	name, ok := calleeName(call)
+	return ok && poolAcquireNames[name]
+}

@@ -1,0 +1,79 @@
+// Known-bad fixture for the noalloc analyzer: each class of allocation
+// site inside a //cardopc:noalloc function.
+package fixture
+
+type vec struct{ x, y float64 }
+
+func sink(v interface{}) {}
+
+//cardopc:noalloc
+func badMake(n int) {
+	buf := make([]float64, n) // want "make allocates"
+	_ = buf
+}
+
+//cardopc:noalloc
+func badNew() {
+	p := new(vec) // want "new allocates"
+	_ = p
+}
+
+//cardopc:noalloc
+func badSliceLit() {
+	sl := []int{1, 2, 3} // want "slice literal allocates"
+	_ = sl
+}
+
+//cardopc:noalloc
+func badMapLit() {
+	m := map[string]int{} // want "map literal allocates"
+	_ = m
+}
+
+//cardopc:noalloc
+func badPtrLit() *vec {
+	return &vec{x: 1} // want "composite literal allocates"
+}
+
+//cardopc:noalloc
+func badAppend(dst []int, v int) []int {
+	return append(dst, v) // want "append may grow"
+}
+
+//cardopc:noalloc
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//cardopc:noalloc
+func badConversion(s string) int {
+	b := []byte(s) // want "conversion copies"
+	return len(b)
+}
+
+//cardopc:noalloc
+func badBoxingArg(x float64) {
+	sink(x) // want "boxes a concrete value"
+}
+
+//cardopc:noalloc
+func badBoxingReturn(x int) interface{} {
+	return x // want "boxes a concrete value"
+}
+
+//cardopc:noalloc
+func badCapturingClosure(n int) int {
+	f := func() int { return n } // want "closure captures"
+	return f()
+}
+
+//cardopc:noalloc
+func badAllocInLoop(xs []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		t := make([]float64, 1) // want "make allocates"
+		t[0] = xs[i]
+		s += t[0]
+	}
+	return s
+}

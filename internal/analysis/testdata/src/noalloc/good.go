@@ -1,0 +1,77 @@
+// Known-good fixture for the noalloc analyzer: allocation-free shapes,
+// the blessed cold-path carve-outs, and unannotated functions that may
+// allocate freely.
+package fixture
+
+// unannotated functions are out of scope entirely.
+func unannotatedAllocates(n int) []float64 {
+	return make([]float64, n)
+}
+
+//cardopc:noalloc
+func goodScratchReuse(dst, src []float64) {
+	for i := range src {
+		dst[i] = 2 * src[i]
+	}
+}
+
+//cardopc:noalloc
+func goodValueStruct(x, y float64) float64 {
+	v := vec{x: x, y: y} // value literal stays on the stack
+	return v.x + v.y
+}
+
+//cardopc:noalloc
+func goodPointerArg(v *vec) {
+	sink(v) // pointers are a single word; no boxing allocation
+}
+
+//cardopc:noalloc
+func goodNonCapturingClosure(xs []float64) float64 {
+	f := func(a float64) float64 { return a * a }
+	s := 0.0
+	for _, x := range xs {
+		s += f(x)
+	}
+	return s
+}
+
+type gate struct{}
+
+func (gate) Enabled() bool { return false }
+
+func (gate) Emit(v interface{}) {}
+
+var tele gate
+
+type iterRecord struct{ i int }
+
+// goodEnabledGuard: the branch behind an Enabled() gate is the obs slow
+// path — its allocations are pinned elsewhere and exempt here.
+//
+//cardopc:noalloc
+func goodEnabledGuard(n int) {
+	for i := 0; i < n; i++ {
+		if tele.Enabled() {
+			tele.Emit(&iterRecord{i: i})
+		}
+	}
+}
+
+// goodPanicGuard: a size-guard panic allocates its message exactly
+// once, on the crash path; that branch is exempt.
+//
+//cardopc:noalloc
+func goodPanicGuard(n, m int, name string) {
+	if n != m {
+		panic("size mismatch in " + name)
+	}
+}
+
+// goodAllowed: a documented allocation carries an inline allow instead
+// of weakening the annotation.
+//
+//cardopc:noalloc
+func goodAllowed(n int) []int {
+	return make([]int, n) //cardopc:allow noalloc one-time setup path, never in the descent loop
+}

@@ -1,0 +1,58 @@
+// Known-bad fixture for the obsguard analyzer: telemetry emission in
+// loops without the Enabled() gate.
+package fixture
+
+type obsAPI struct{}
+
+func (obsAPI) Emit(rec interface{}) {}
+
+func (obsAPI) Enabled() bool { return false }
+
+var obs obsAPI
+
+type iterRec struct{ i int }
+
+func badForLoop(n int) {
+	for i := 0; i < n; i++ {
+		obs.Emit(&iterRec{i: i}) // want "without an Enabled"
+	}
+}
+
+func badRangeLoop(xs []int) {
+	for _, x := range xs {
+		obs.Emit(x) // want "without an Enabled"
+	}
+}
+
+func badWrongGuard(n int, verbose bool) {
+	for i := 0; i < n; i++ {
+		if verbose {
+			obs.Emit(i) // want "without an Enabled"
+		}
+	}
+}
+
+func badNestedLoop(n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			obs.Emit(i * j) // want "without an Enabled"
+		}
+	}
+}
+
+func badWorkerClosure(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			obs.Emit(i) // want "without an Enabled"
+		}
+	}()
+}
+
+func badGuardThenUnguarded(n int) {
+	for i := 0; i < n; i++ {
+		if obs.Enabled() {
+			obs.Emit(i)
+		}
+		obs.Emit(i + 1) // want "without an Enabled"
+	}
+}

@@ -1,0 +1,50 @@
+// Known-good fixture for the obsguard analyzer: guarded emission, and
+// emission outside loops where a per-call record is fine.
+package fixture
+
+type span struct{}
+
+func (span) Enabled() bool { return false }
+
+func goodGuardedLoop(n int) {
+	for i := 0; i < n; i++ {
+		if obs.Enabled() {
+			obs.Emit(&iterRec{i: i})
+		}
+	}
+}
+
+func goodSpanGuard(n int) {
+	sp := span{}
+	for i := 0; i < n; i++ {
+		if sp.Enabled() {
+			obs.Emit(i)
+		}
+	}
+}
+
+func goodGuardOutsideLoop(n int) {
+	if obs.Enabled() {
+		for i := 0; i < n; i++ {
+			obs.Emit(i)
+		}
+	}
+}
+
+func goodOutsideLoop(n int) {
+	obs.Emit(n) // one record per call, not per iteration
+}
+
+func goodGuardWithExtraCondition(n int, verbose bool) {
+	for i := 0; i < n; i++ {
+		if verbose && obs.Enabled() {
+			obs.Emit(i)
+		}
+	}
+}
+
+func goodAllowed(n int) {
+	for i := 0; i < n; i++ {
+		obs.Emit(i) //cardopc:allow obsguard sampling loop runs at most 8 iterations
+	}
+}

@@ -1,0 +1,126 @@
+// Known-bad fixture for the poolcheck analyzer: every way a pooled
+// buffer's lifetime can go wrong — leaks on exit paths, double
+// releases, use-after-release, and escapes out of the acquiring
+// function.
+package fixture
+
+// Pool stubs mirroring the fft API shape; poolcheck matches by name.
+
+type Grid struct{ Data []float64 }
+
+type Workspace struct{ Acc []float64 }
+
+type Cache struct{}
+
+func GetGrid(h, w int) *Grid { return &Grid{} }
+
+func PutGrid(g *Grid) {}
+
+func GetWorkspace(h, w int) *Workspace { return &Workspace{} }
+
+func (w *Workspace) Release() {}
+
+func NewForwardCache() *Cache { return &Cache{} }
+
+func (c *Cache) Release() {}
+
+func use(g *Grid) {}
+
+var errFail error
+
+func leakEarlyReturn(n int, fail bool) error {
+	g := GetGrid(n, n) // want "not released on every exit path"
+	if fail {
+		return errFail
+	}
+	PutGrid(g)
+	return nil
+}
+
+func leakFallOff(n int) {
+	g := GetGrid(n, n) // want "not released on every exit path"
+	use(g)
+}
+
+func leakOneBranch(n int, keep bool) {
+	g := GetGrid(n, n) // want "not released on every exit path"
+	if keep {
+		use(g)
+	} else {
+		PutGrid(g)
+	}
+}
+
+func doubleRelease(n int) {
+	g := GetGrid(n, n)
+	PutGrid(g)
+	PutGrid(g) // want "released twice"
+}
+
+func doubleWorkspaceRelease(n int) {
+	ws := GetWorkspace(n, n)
+	ws.Release()
+	ws.Release() // want "released twice"
+}
+
+func useAfterPut(n int) {
+	g := GetGrid(n, n)
+	PutGrid(g)
+	use(g) // want "used after release"
+}
+
+func useAfterPutInCond(n int) bool {
+	g := GetGrid(n, n)
+	PutGrid(g)
+	return g != nil // want "used after release"
+}
+
+func escapeReturn(n int) *Grid {
+	g := GetGrid(n, n)
+	return g // want "ownership moves to the caller"
+}
+
+type holder struct{ g *Grid }
+
+func escapeField(h *holder, n int) {
+	g := GetGrid(n, n)
+	h.g = g // want "escapes into field"
+}
+
+func escapeGoroutine(n int) {
+	g := GetGrid(n, n)
+	go use(g) // want "captured by goroutine"
+}
+
+func escapeClosure(n int) func() {
+	g := GetGrid(n, n)
+	f := func() { use(g) } // want "captured by a closure"
+	return f
+}
+
+func overwriteWhileLive(n int) {
+	g := GetGrid(n, n)
+	g = GetGrid(n, n) // want "overwrites g while it still holds a live pooled value"
+	PutGrid(g)
+}
+
+func discardBlank(n int) {
+	_ = GetGrid(n, n) // want "discarded"
+}
+
+func discardBare(n int) {
+	GetGrid(n, n) // want "discarded"
+}
+
+func unboundAcquire(h *holder, n int) {
+	h.g = GetGrid(n, n) // want "bind it to a local"
+}
+
+func leakCache(n int, fail bool) error {
+	c := NewForwardCache() // want "not released on every exit path"
+	if fail {
+		return errFail
+	}
+	c.Release()
+	return nil
+}

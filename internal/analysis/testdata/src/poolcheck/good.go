@@ -1,0 +1,130 @@
+// Known-good fixture for the poolcheck analyzer: the disciplined
+// acquire/release shapes of the hot path, none of which may be flagged.
+package fixture
+
+func straightLine(n int) {
+	g := GetGrid(n, n)
+	use(g)
+	PutGrid(g)
+}
+
+func deferredPut(n int, fail bool) error {
+	g := GetGrid(n, n)
+	defer PutGrid(g)
+	if fail {
+		return errFail
+	}
+	use(g)
+	return nil
+}
+
+func deferredRelease(n int) {
+	ws := GetWorkspace(n, n)
+	defer ws.Release()
+	_ = ws.Acc
+}
+
+func deferredCacheRelease(n int) {
+	c := NewForwardCache()
+	defer c.Release()
+	_ = c
+}
+
+func deferredClosureRelease(n int) {
+	g := GetGrid(n, n)
+	defer func() {
+		PutGrid(g)
+	}()
+	use(g)
+}
+
+func bothBranchesRelease(n int, flip bool) {
+	g := GetGrid(n, n)
+	if flip {
+		use(g)
+		PutGrid(g)
+	} else {
+		PutGrid(g)
+	}
+}
+
+func releaseBeforeEveryReturn(n int, fail bool) error {
+	g := GetGrid(n, n)
+	if fail {
+		PutGrid(g)
+		return errFail
+	}
+	use(g)
+	PutGrid(g)
+	return nil
+}
+
+// panicPath acquires and then may panic: crash paths carry no release
+// obligation (the process is gone), and the happy path releases.
+func panicPath(n, m int) {
+	g := GetGrid(n, n)
+	if n != m {
+		panic("size mismatch")
+	}
+	use(g)
+	PutGrid(g)
+}
+
+// workerHandOff is the litho fan-out pattern: each worker acquires a
+// workspace and parks it in the shared slice; the launcher drains and
+// releases after the barrier. The index store transfers ownership
+// silently, and the drain releases range variables poolcheck never
+// tracked.
+func workerHandOff(n, workers int) {
+	wss := make([]*Workspace, workers)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			ws := GetWorkspace(n, n)
+			ws.Acc[0] = float64(w)
+			wss[w] = ws
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for _, ws := range wss {
+		_ = ws.Acc
+		ws.Release()
+	}
+}
+
+// borrowedByCallback lends the grid to a synchronously-invoked closure;
+// the release stays with the caller.
+func borrowedByCallback(n int, each func(func(int))) {
+	g := GetGrid(n, n)
+	each(func(i int) {
+		g.Data[i] = 0
+	})
+	PutGrid(g)
+}
+
+func loopLocalAcquire(n, iters int) {
+	for i := 0; i < iters; i++ {
+		g := GetGrid(n, n)
+		use(g)
+		PutGrid(g)
+	}
+}
+
+func earlyReturnBeforeAcquire(n int, skip bool) {
+	if skip {
+		return
+	}
+	g := GetGrid(n, n)
+	use(g)
+	PutGrid(g)
+}
+
+// allowedEscape shows a documented hand-off: the allow directive
+// records the contract and suppresses the escape diagnostic.
+func allowedEscape(n int) *Grid {
+	g := GetGrid(n, n)
+	return g //cardopc:allow poolcheck ownership documented: caller must PutGrid
+}

@@ -141,7 +141,9 @@ func TestInsertSRAFsSkipsCrowded(t *testing.T) {
 
 func TestSmoothMovesConservesMean(t *testing.T) {
 	moves := []geom.Pt{{X: 1}, {X: 2}, {X: 3}, {X: 0}, {X: -1}, {X: 2}}
-	out := smoothMoves(moves, 1)
+	o := &Optimizer{cfg: Config{SmoothWindow: 1}, smoothW: binomialWeights(1)}
+	s := &Shape{smoothed: make([]geom.Pt, len(moves))}
+	out := o.smoothMoves(s, moves)
 	var inSum, outSum geom.Pt
 	for i := range moves {
 		inSum = inSum.Add(moves[i])
@@ -151,7 +153,8 @@ func TestSmoothMovesConservesMean(t *testing.T) {
 		t.Errorf("smoothing changed total move: %v vs %v", inSum, outSum)
 	}
 	// W=0 is identity.
-	same := smoothMoves(moves, 0)
+	o0 := &Optimizer{cfg: Config{SmoothWindow: 0}}
+	same := o0.smoothMoves(s, moves)
 	for i := range moves {
 		if same[i] != moves[i] {
 			t.Fatal("W=0 must be identity")

@@ -30,8 +30,9 @@ type Optimizer struct {
 	mask    *Mask
 	targets []geom.Polygon
 
-	field  *raster.Field // mask raster scratch
-	aerial *raster.Field // aerial image scratch
+	field   *raster.Field // mask raster scratch
+	aerial  *raster.Field // aerial image scratch
+	smoothW []float64     // binomial smoothing weights for cfg.SmoothWindow
 }
 
 // NewOptimizer initialises the flow for the target polygons: SRAF insertion,
@@ -49,7 +50,7 @@ func NewOptimizer(sim *litho.Simulator, targets []geom.Polygon, cfg Config) *Opt
 // come from fitting an ILT result instead of from dissection. Shapes whose
 // probes were not assigned fall back to probing at their anchors.
 func NewOptimizerWithMask(sim *litho.Simulator, mask *Mask, targets []geom.Polygon, cfg Config) *Optimizer {
-	return &Optimizer{
+	o := &Optimizer{
 		cfg:     cfg,
 		sim:     sim,
 		mask:    mask,
@@ -57,6 +58,10 @@ func NewOptimizerWithMask(sim *litho.Simulator, mask *Mask, targets []geom.Polyg
 		field:   raster.NewField(sim.Grid()),
 		aerial:  raster.NewField(sim.Grid()),
 	}
+	if cfg.SmoothWindow > 0 {
+		o.smoothW = binomialWeights(cfg.SmoothWindow)
+	}
+	return o
 }
 
 // Reset repoints the optimizer at a new mask and target set, reusing its
@@ -87,6 +92,8 @@ func (o *Optimizer) Run() *Result {
 // Step performs one correction iteration (Fig. 2 steps ③–⑤) with moving
 // distance decayed per the schedule, and returns Σ|EPE| over all control
 // points before the move.
+//
+//cardopc:noalloc
 func (o *Optimizer) Step(it int) float64 {
 	span := obs.Start("opc.step")
 	t0 := time.Time{}
@@ -111,7 +118,7 @@ func (o *Optimizer) Step(it int) float64 {
 			continue
 		}
 		moves := o.shapeMoves(s, aerial, ith, step)
-		smoothed := smoothMoves(moves, o.cfg.SmoothWindow)
+		smoothed := o.smoothMoves(s, moves)
 		for i := range s.Ctrl {
 			p, hit := clampDrift(s.Ctrl[i].Add(smoothed[i]), s.Anchor[i], o.cfg.MaxDrift)
 			if hit {
@@ -149,25 +156,18 @@ func (o *Optimizer) Step(it int) float64 {
 // anchor's outward normal (sub-pixel threshold crossing of the aerial
 // image); the move is -min(|e|,step)·sign(e) along the *current* spline
 // normal (paper Eq. 6 diagonal solver + Eq. 8 normal directions).
+// The move buffer and the EPE/damping state live on the Shape as
+// scratch (ensureStepScratch), so the steady-state loop allocates
+// nothing per iteration.
+//
+//cardopc:noalloc
 func (o *Optimizer) shapeMoves(s *Shape, aerial *raster.Field, ith, step float64) []geom.Pt {
 	n := len(s.Ctrl)
-	moves := make([]geom.Pt, n)
-	if s.probes == nil {
-		s.probes = make([]metrics.Probe, n)
-		for i := 0; i < n; i++ {
-			s.probes[i] = metrics.Probe{Pos: s.Anchor[i], Normal: s.Normal[i]}
-		}
-	}
+	s.ensureStepScratch(n)
+	moves := s.moves
+	clear(moves)
 	cfg := metrics.EPEConfig{SearchNM: o.cfg.EPECap * 3, ThresholdNM: o.cfg.EPECap, Ith: ith}
 	res := metrics.MeasureEPE(aerial, s.probes, cfg)
-	if s.epe == nil {
-		s.epe = make([]float64, n)
-		s.prevEPE = make([]float64, n)
-		s.damp = make([]float64, n)
-		for i := range s.damp {
-			s.damp[i] = 1
-		}
-	}
 	for i := 0; i < n; i++ {
 		e := res.PerProbe[i]
 		if e > o.cfg.EPECap {
@@ -216,20 +216,48 @@ func (o *Optimizer) shapeMoves(s *Shape, aerial *raster.Field, ith, step float64
 	return moves
 }
 
+// ensureStepScratch lazily sizes the Shape's per-step buffers: move
+// vectors, smoothing output, probes and the EPE/damping state. It is
+// the one-time warm-up path backing the noalloc annotations on Step's
+// helpers.
+func (s *Shape) ensureStepScratch(n int) {
+	if s.moves == nil || len(s.moves) != n {
+		s.moves = make([]geom.Pt, n)
+		s.smoothed = make([]geom.Pt, n)
+	}
+	if s.probes == nil {
+		s.probes = make([]metrics.Probe, n)
+		for i := 0; i < n; i++ {
+			s.probes[i] = metrics.Probe{Pos: s.Anchor[i], Normal: s.Normal[i]}
+		}
+	}
+	if s.epe == nil {
+		s.epe = make([]float64, n)
+		s.prevEPE = make([]float64, n)
+		s.damp = make([]float64, n)
+		for i := range s.damp {
+			s.damp[i] = 1
+		}
+	}
+}
+
 // smoothMoves applies Eq. (7): each move becomes the weighted average of the
 // 2W+1 neighbouring move *vectors* on the same closed loop, with binomial
-// weights. W <= 0 returns moves unchanged.
-func smoothMoves(moves []geom.Pt, w int) []geom.Pt {
+// weights (precomputed once in NewOptimizerWithMask). W <= 0 returns moves
+// unchanged; otherwise the result lands in the shape's smoothing scratch.
+//
+//cardopc:noalloc
+func (o *Optimizer) smoothMoves(s *Shape, moves []geom.Pt) []geom.Pt {
+	w := o.cfg.SmoothWindow
 	if w <= 0 || len(moves) < 2*w+1 {
 		return moves
 	}
-	weights := binomialWeights(w)
 	n := len(moves)
-	out := make([]geom.Pt, n)
+	out := s.smoothed[:n]
 	for i := 0; i < n; i++ {
 		var acc geom.Pt
 		for k := -w; k <= w; k++ {
-			acc = acc.Add(moves[((i+k)%n+n)%n].Mul(weights[k+w]))
+			acc = acc.Add(moves[((i+k)%n+n)%n].Mul(o.smoothW[k+w]))
 		}
 		out[i] = acc
 	}

@@ -28,14 +28,16 @@ type Shape struct {
 	// corner EPE.
 	Corner []bool
 
-	kind    spline.Kind
-	tension float64
-	loop    spline.Loop
-	buf     geom.Polygon // sampling scratch
-	epe     []float64    // last measured EPE per control point
-	prevEPE []float64    // EPE of the previous iteration (for damping)
-	damp    []float64    // per-point adaptive gain damping
-	probes  []metrics.Probe
+	kind     spline.Kind
+	tension  float64
+	loop     spline.Loop
+	buf      geom.Polygon // sampling scratch
+	epe      []float64    // last measured EPE per control point
+	prevEPE  []float64    // EPE of the previous iteration (for damping)
+	damp     []float64    // per-point adaptive gain damping
+	probes   []metrics.Probe
+	moves    []geom.Pt // per-step move-vector scratch (Eq. 6)
+	smoothed []geom.Pt // per-step smoothing scratch (Eq. 7)
 }
 
 // LastEPE returns the most recent per-control-point EPE measurements (nil

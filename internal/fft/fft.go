@@ -181,6 +181,8 @@ func (g *Grid2) Fill(v complex128) {
 
 // Forward2 computes the in-place forward 2-D DFT of g (rows then columns),
 // parallelised over the package worker pool.
+//
+//cardopc:noalloc
 func Forward2(g *Grid2) {
 	obs.C("fft.forward2").Inc()
 	transform2(g, false)
@@ -188,6 +190,8 @@ func Forward2(g *Grid2) {
 
 // Inverse2 computes the in-place inverse 2-D DFT of g with 1/(W·H)
 // normalisation.
+//
+//cardopc:noalloc
 func Inverse2(g *Grid2) {
 	obs.C("fft.inverse2").Inc()
 	transform2(g, true)
@@ -205,13 +209,15 @@ const transposeBlock = 32
 
 // transposeInto writes srcᵀ into dst. dst must have dst.W == src.H and
 // dst.H == src.W; contents are fully overwritten.
+//
+//cardopc:noalloc
 func transposeInto(dst, src *Grid2) {
 	if dst.W != src.H || dst.H != src.W {
 		panic(fmt.Sprintf("fft: transpose %dx%d into %dx%d", src.W, src.H, dst.W, dst.H))
 	}
 	nxb := (src.W + transposeBlock - 1) / transposeBlock
 	nyb := (src.H + transposeBlock - 1) / transposeBlock
-	parallelRows(nxb, func(xb int) {
+	parallelRows(nxb, func(xb int) { //cardopc:allow noalloc one fan-out closure per transpose, pinned by BenchmarkForward2's allocs/op
 		x0 := xb * transposeBlock
 		x1 := min(x0+transposeBlock, src.W)
 		for yb := 0; yb < nyb; yb++ {
@@ -231,13 +237,15 @@ func transposeInto(dst, src *Grid2) {
 // transpose into pooled scratch, row FFTs again (the columns), and a
 // transpose back — every FFT then walks contiguous memory instead of
 // gathering strided columns.
+//
+//cardopc:noalloc
 func transform2(g *Grid2, inverse bool) {
-	parallelRows(g.H, func(y int) {
+	parallelRows(g.H, func(y int) { //cardopc:allow noalloc one fan-out closure per pass, pinned by BenchmarkForward2's allocs/op
 		transform(g.Data[y*g.W:(y+1)*g.W], inverse)
 	})
 	t := GetGrid(g.H, g.W)
 	transposeInto(t, g)
-	parallelRows(t.H, func(y int) {
+	parallelRows(t.H, func(y int) { //cardopc:allow noalloc one fan-out closure per pass, pinned by BenchmarkForward2's allocs/op
 		transform(t.Data[y*t.W:(y+1)*t.W], inverse)
 	})
 	transposeInto(g, t)
@@ -264,6 +272,8 @@ func Shift2(g *Grid2) {
 }
 
 // MulInto sets dst = a ⊙ b elementwise. Grids must share dimensions.
+//
+//cardopc:noalloc
 func MulInto(dst, a, b *Grid2) {
 	for i := range dst.Data {
 		dst.Data[i] = a.Data[i] * b.Data[i]
@@ -282,6 +292,8 @@ func Convolve(maskFreq, kernelFreq *Grid2) *Grid2 {
 }
 
 // ConvolveInto is Convolve reusing out's storage.
+//
+//cardopc:noalloc
 func ConvolveInto(out, maskFreq, kernelFreq *Grid2) {
 	MulInto(out, maskFreq, kernelFreq)
 	Inverse2(out)

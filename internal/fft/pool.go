@@ -63,7 +63,8 @@ func ensureRowWorkers(want int) {
 	defer rowPoolMu.Unlock()
 	for rowWorkers < want {
 		rowWorkers++
-		//cardopc:allow goleak persistent package-level worker pool by design; drains the global rowTasks channel for the process lifetime
+		// Persistent by design: each worker drains the package-level
+		// rowTasks channel for the process lifetime.
 		go func() {
 			for t := range rowTasks {
 				t.work()

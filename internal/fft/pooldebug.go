@@ -1,0 +1,46 @@
+//go:build cardopc_pooldebug
+
+package fft
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool-debug build: the runtime complement of the static poolcheck
+// analyzer. The analyzer proves pool discipline per function body; this
+// guard catches the cross-function cases it cannot see — a value
+// released twice through two different call chains. Build with
+//
+//	go test -tags cardopc_pooldebug ./internal/fft/
+//
+// to turn every double PutGrid / double Workspace.Release into a panic
+// at the offending call site.
+//
+// poolDebugFree holds every value currently resident in a free pool,
+// keyed by identity. Entries reference their values strongly, so a
+// debug build pins pooled memory that sync.Pool would otherwise drop
+// under GC pressure — acceptable for a diagnostic build, never for
+// release (the release build compiles the hooks to nothing).
+var (
+	poolDebugMu   sync.Mutex
+	poolDebugFree = map[any]string{}
+)
+
+// debugCheckPut records v entering the free pool and panics when it is
+// already there.
+func debugCheckPut(v any, what string) {
+	poolDebugMu.Lock()
+	defer poolDebugMu.Unlock()
+	if _, ok := poolDebugFree[v]; ok {
+		panic(fmt.Sprintf("fft: %s returned to the pool twice", what))
+	}
+	poolDebugFree[v] = what
+}
+
+// debugCheckGet records v leaving the free pool.
+func debugCheckGet(v any) {
+	poolDebugMu.Lock()
+	delete(poolDebugFree, v)
+	poolDebugMu.Unlock()
+}

@@ -1,0 +1,10 @@
+//go:build !cardopc_pooldebug
+
+package fft
+
+// Release build: the pool-debug hooks are empty and inline to nothing.
+// See pooldebug.go (build tag cardopc_pooldebug) for the live variant.
+
+func debugCheckPut(v any, what string) {}
+
+func debugCheckGet(v any) {}

@@ -1,0 +1,44 @@
+//go:build cardopc_pooldebug
+
+package fft
+
+import "testing"
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestPoolDebugDoublePutGridPanics(t *testing.T) {
+	g := GetGrid(8, 8)
+	PutGrid(g)
+	mustPanic(t, "double PutGrid", func() { PutGrid(g) })
+}
+
+func TestPoolDebugDoubleWorkspaceReleasePanics(t *testing.T) {
+	ws := GetWorkspace(8, 8)
+	ws.Release()
+	mustPanic(t, "double Workspace.Release", func() { ws.Release() })
+}
+
+// TestPoolDebugLegitimateCyclesAreSilent guards against false positives:
+// a value may cycle through the pool any number of times as long as
+// every Put is paired with a Get.
+func TestPoolDebugLegitimateCyclesAreSilent(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		g := GetGrid(16, 16)
+		PutGrid(g)
+		ws := GetWorkspace(16, 16)
+		ws.Release()
+	}
+	// nil and empty values stay no-ops, never tracked.
+	PutGrid(nil)
+	PutGrid(&Grid2{})
+	var ws *Workspace
+	ws.Release()
+}

@@ -34,6 +34,7 @@ func poolIn(m *sync.Map, n int) *sync.Pool {
 func GetGrid(w, h int) *Grid2 {
 	if v := poolIn(&gridPools, w*h).Get(); v != nil {
 		g := v.(*Grid2)
+		debugCheckGet(g)
 		g.W, g.H = w, h
 		return g
 	}
@@ -42,10 +43,13 @@ func GetGrid(w, h int) *Grid2 {
 }
 
 // PutGrid returns g to the free pool. g must not be used afterwards.
+// Builds tagged cardopc_pooldebug panic when the same grid is returned
+// twice.
 func PutGrid(g *Grid2) {
 	if g == nil || len(g.Data) == 0 {
 		return
 	}
+	debugCheckPut(g, "Grid2")
 	poolIn(&gridPools, len(g.Data)).Put(g)
 }
 
@@ -66,6 +70,7 @@ func GetWorkspace(w, h int) *Workspace {
 	n := w * h
 	if v := poolIn(&wsPools, n).Get(); v != nil {
 		ws := v.(*Workspace)
+		debugCheckGet(ws)
 		ws.Grid.W, ws.Grid.H = w, h
 		clear(ws.Acc)
 		return ws
@@ -75,10 +80,12 @@ func GetWorkspace(w, h int) *Workspace {
 }
 
 // Release returns the workspace to the free pool. The workspace (and
-// its Grid and Acc) must not be used afterwards.
+// its Grid and Acc) must not be used afterwards. Builds tagged
+// cardopc_pooldebug panic when the same workspace is released twice.
 func (ws *Workspace) Release() {
 	if ws == nil || ws.Grid == nil {
 		return
 	}
+	debugCheckPut(ws, "Workspace")
 	poolIn(&wsPools, len(ws.Acc)).Put(ws)
 }

@@ -34,7 +34,7 @@ func (c *ForwardCache) ensure(n int) {
 	}
 	for i, a := range c.amps {
 		if a == nil {
-			c.amps[i] = fft.GetGrid(n, n)
+			c.amps[i] = fft.GetGrid(n, n) //cardopc:allow poolcheck grids are cache-owned; Release returns every non-nil slot
 		}
 	}
 }
@@ -56,13 +56,15 @@ func (c *ForwardCache) Release() {
 func (s *Simulator) AerialWithCache(mask *raster.Field) (*raster.Field, *ForwardCache) {
 	cache := s.NewForwardCache()
 	out := s.AerialWithCacheInto(raster.NewField(s.grid), cache, mask)
-	return out, cache
+	return out, cache //cardopc:allow poolcheck documented hand-off: the caller must cache.Release when done
 }
 
 // AerialWithCacheInto is AerialWithCache writing the aerial image into
 // out (fully overwritten) and the coherent amplitudes into cache,
 // reusing the cache's grids when it has been filled before — the
 // steady-state path of the ILT descent loop.
+//
+//cardopc:noalloc
 func (s *Simulator) AerialWithCacheInto(out *raster.Field, cache *ForwardCache, mask *raster.Field) *raster.Field {
 	defer obs.Start("litho.aerial_cached").End()
 	obs.C("litho.aerial.count").Inc()
@@ -82,17 +84,17 @@ func (s *Simulator) AerialWithCacheInto(out *raster.Field, cache *ForwardCache, 
 	if workers > len(s.kernels) {
 		workers = len(s.kernels)
 	}
-	wss := make([]*fft.Workspace, workers)
+	wss := make([]*fft.Workspace, workers) //cardopc:allow noalloc GOMAXPROCS-bounded fan-out slice, inside the litho allocs/op budget
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(w int) { //cardopc:allow noalloc one worker closure per fan-out, inside the litho allocs/op budget
 			defer wg.Done()
 			ws := fft.GetWorkspace(n, n)
 			for ki := w; ki < len(s.kernels); ki += workers {
 				ksp := obs.StartOn(obs.TrackLithoWorker+w, "litho.kernel")
 				amp := cache.amps[ki]
-				fft.ConvolveInto(amp, mf, s.kernels[ki])
+				fft.ConvolveInto(amp, mf, s.kernels[ki]) //cardopc:allow poolcheck workers only read mf; wg.Wait fences the PutGrid below
 				wk := s.weights[ki]
 				for i, v := range amp.Data {
 					re, im := real(v), imag(v)
@@ -141,6 +143,8 @@ func (s *Simulator) GradientFromCache(cache *ForwardCache, G []float64) []float6
 // (fully overwritten), drawing worker scratch from the fft workspace
 // pool. The reduction runs in worker order, so results are bit-identical
 // across runs.
+//
+//cardopc:noalloc
 func (s *Simulator) GradientFromCacheInto(grad []float64, cache *ForwardCache, G []float64) []float64 {
 	defer obs.Start("litho.gradient").End()
 	obs.C("litho.gradient.count").Inc()
@@ -157,11 +161,11 @@ func (s *Simulator) GradientFromCacheInto(grad []float64, cache *ForwardCache, G
 	if workers > len(s.kernels) {
 		workers = len(s.kernels)
 	}
-	wss := make([]*fft.Workspace, workers)
+	wss := make([]*fft.Workspace, workers) //cardopc:allow noalloc GOMAXPROCS-bounded fan-out slice, inside the litho allocs/op budget
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(w int) { //cardopc:allow noalloc one worker closure per fan-out, inside the litho allocs/op budget
 			defer wg.Done()
 			ws := fft.GetWorkspace(n, n)
 			buf := ws.Grid

@@ -95,9 +95,13 @@ func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one. Nil-safe.
+//
+//cardopc:noalloc
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds n. Nil-safe.
+//
+//cardopc:noalloc
 func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
@@ -118,6 +122,8 @@ func (c *Counter) Value() int64 {
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores v. Nil-safe.
+//
+//cardopc:noalloc
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -126,6 +132,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add adds d with a CAS loop. Nil-safe.
+//
+//cardopc:noalloc
 func (g *Gauge) Add(d float64) {
 	if g == nil {
 		return

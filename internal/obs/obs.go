@@ -108,6 +108,8 @@ func H(name string) *Histogram { return Metrics().Histogram(name, TimeBucketsMS)
 
 // Emit writes one record to the process-wide telemetry stream; it
 // drops the record when telemetry is disabled.
+//
+//cardopc:noalloc
 func Emit(rec Record) {
 	st := global.Load()
 	if st == nil {

@@ -91,6 +91,8 @@ func NewTelemetry(w io.Writer) *Telemetry {
 
 // Emit appends one record. Nil-safe; marshal errors are dropped (the
 // telemetry stream must never fail the run it observes).
+//
+//cardopc:noalloc
 func (t *Telemetry) Emit(rec Record) {
 	if t == nil {
 		return

@@ -145,11 +145,15 @@ type Span struct {
 }
 
 // Start opens a span on the main track against the process-wide state.
+//
+//cardopc:noalloc
 func Start(name string) Span { return StartOn(TrackMain, name) }
 
 // StartOn opens a span on an explicit track (worker row) against the
 // process-wide state. Disabled instrumentation returns the zero Span
 // without reading the clock.
+//
+//cardopc:noalloc
 func StartOn(track int, name string) Span {
 	st := global.Load()
 	if st == nil {
@@ -177,6 +181,8 @@ func (s Span) Enabled() bool { return s.st != nil }
 // records the duration into the histogram "span.<name>.ms" (when
 // metrics are on). Optional args attach to the trace event only.
 // No-op for the zero Span.
+//
+//cardopc:noalloc
 func (s Span) End(args ...Arg) {
 	if s.st == nil {
 		return
@@ -189,6 +195,6 @@ func (s Span) End(args ...Arg) {
 		dur = time.Since(s.t0)
 	}
 	if m := s.st.Metrics; m != nil {
-		m.Histogram("span."+s.name+".ms", TimeBucketsMS).Observe(dur.Seconds() * 1e3)
+		m.Histogram("span."+s.name+".ms", TimeBucketsMS).Observe(dur.Seconds() * 1e3) //cardopc:allow noalloc enabled-path only; the disabled span returned above
 	}
 }
