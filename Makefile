@@ -11,7 +11,7 @@ BENCH_CPU ?= 4
 # BENCH_COUNT runs are what benchdiff compares (>= 3 for a useful median).
 BENCH_COUNT ?= 5
 
-.PHONY: all build test test-pooldebug vet vet-fast race bench bench-record bench-check bench-trend
+.PHONY: all build test test-pooldebug vet vet-fast race bench bench-record bench-check bench-trend serve loadtest soak
 
 all: build vet test
 
@@ -26,9 +26,11 @@ test:
 
 # Pool-debug build: compiles the fft pool with the cardopc_pooldebug
 # runtime guard, turning any double PutGrid / double Workspace.Release
-# into a panic. The runtime complement of the static poolcheck analyzer.
+# into a panic, and tracking outstanding checkouts so the server's
+# cancellation tests can assert nothing leaked. The runtime complement
+# of the static poolcheck analyzer.
 test-pooldebug:
-	$(GO) test -tags cardopc_pooldebug ./internal/fft/
+	$(GO) test -tags cardopc_pooldebug ./internal/fft/ ./internal/server/
 
 # go vet plus the repo's own analyzer suite over every package —
 # including the dataflow passes (poolcheck, noalloc, obsguard). Cold:
@@ -72,3 +74,27 @@ bench-trend:
 # exit on a regression beyond tolerance. Same gate CI's bench job runs.
 bench-check:
 	$(GO) run ./cmd/benchdiff check -count $(BENCH_COUNT) -cpu $(BENCH_CPU)
+
+# --- cardopcd service targets ---
+
+# Daemon address for serve/loadtest/soak; override per invocation, e.g.
+# `make serve SERVE_ADDR=127.0.0.1:0` for an ephemeral port.
+SERVE_ADDR ?= 127.0.0.1:8347
+LOADTEST_DURATION ?= 10s
+LOADTEST_CONCURRENCY ?= 2
+
+# Run the OPC daemon in the foreground with warm default kernels.
+# Ctrl-C (or SIGTERM) drains: in-flight jobs finish, then it exits.
+serve:
+	$(GO) run ./cmd/cardopcd -addr $(SERVE_ADDR)
+
+# Drive a running daemon closed-loop and print req/s + p50/p99 latency.
+loadtest:
+	$(GO) run ./cmd/cardopcd loadtest -addr http://$(SERVE_ADDR) \
+		-d $(LOADTEST_DURATION) -c $(LOADTEST_CONCURRENCY)
+
+# The CI soak, runnable locally: boot a daemon on an ephemeral port,
+# load it for LOADTEST_DURATION while sampling a CPU profile, then
+# SIGTERM and check the drain. Artifacts land in soak-out/.
+soak:
+	./scripts/soak.sh $(LOADTEST_DURATION) $(LOADTEST_CONCURRENCY)

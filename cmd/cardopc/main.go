@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
 	"cardopc/internal/cli"
 	"cardopc/internal/core"
@@ -69,7 +68,10 @@ func main() {
 		}
 	}()
 
-	cfg := pickConfig(*layer, clip.Name)
+	cfg, err := cli.PickConfig(*layer, clip.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *iters > 0 {
 		cfg.Iterations = *iters
 		cfg.DecayAt = []int{*iters / 2}
@@ -136,26 +138,6 @@ func main() {
 		for _, d := range defects {
 			fmt.Printf("  %v\n", d)
 		}
-	}
-}
-
-// pickConfig chooses the experiment preset.
-func pickConfig(layer, caseName string) core.Config {
-	switch layer {
-	case "via":
-		return core.ViaConfig()
-	case "metal":
-		return core.MetalConfig()
-	case "large":
-		return core.LargeScaleConfig()
-	case "":
-		if strings.HasPrefix(strings.ToUpper(caseName), "M") {
-			return core.MetalConfig()
-		}
-		return core.ViaConfig()
-	default:
-		log.Fatalf("unknown layer %q (want via, metal or large)", layer)
-		return core.Config{}
 	}
 }
 

@@ -10,6 +10,7 @@
 package bigopc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -35,6 +36,11 @@ type Config struct {
 	Litho litho.Config
 	// Workers bounds tile parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Sim, when non-nil, is a pre-built simulator to image through — the
+	// warm-state hook for long-running drivers (cardopcd) that amortise
+	// kernel construction across runs. Its configuration must match
+	// Litho exactly; Validate rejects a mismatch.
+	Sim *litho.Simulator
 }
 
 // Validate reports configuration problems.
@@ -48,6 +54,16 @@ func (c Config) Validate() error {
 	}
 	if err := c.Litho.Validate(); err != nil {
 		return err
+	}
+	if c.Sim != nil {
+		// NewSimulator normalises Dose 0 to 1; compare post-normalisation.
+		want := c.Litho
+		if want.Dose == 0 {
+			want.Dose = 1
+		}
+		if c.Sim.Config() != want {
+			return fmt.Errorf("bigopc: warm simulator config %+v does not match cfg.Litho %+v", c.Sim.Config(), want)
+		}
 	}
 	return c.OPC.Validate()
 }
@@ -72,11 +88,24 @@ type tileJob struct {
 
 // Run corrects the layout tile by tile.
 func Run(targets []geom.Polygon, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), targets, cfg)
+}
+
+// RunContext is Run under a context: cancellation (deadline, client
+// disconnect, server drain) stops dispatching new tiles, lets in-flight
+// tiles finish — each tile releases its pooled FFT scratch on its own
+// normal exit path — and returns ctx.Err() with a nil Result. The
+// already-corrected tiles are discarded: a partial mask is not a usable
+// artifact.
+func RunContext(ctx context.Context, targets []geom.Polygon, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	defer obs.Start("bigopc.run").End()
-	sim := litho.NewSimulator(cfg.Litho)
+	sim := cfg.Sim
+	if sim == nil {
+		sim = litho.NewSimulator(cfg.Litho)
+	}
 	fov := float64(cfg.Litho.GridSize) * cfg.Litho.PitchNM
 
 	// Layout extent.
@@ -178,7 +207,7 @@ func Run(targets []geom.Polygon, cfg Config) (*Result, error) {
 				if span.Enabled() {
 					t0 = time.Now()
 				}
-				results[i] = correctTile(sim, jobs[key], cfg, &opt)
+				results[i] = correctTile(ctx, sim, jobs[key], cfg, &opt)
 				if span.Enabled() {
 					obs.Emit(&obs.TileDone{
 						Col:    key[0],
@@ -196,11 +225,24 @@ func Run(targets []geom.Polygon, cfg Config) (*Result, error) {
 			}
 		}(w)
 	}
+	cancelled := false
+dispatch:
 	for i := range keys {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			cancelled = true
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	// Re-check after the workers drain: cancellation can land after the
+	// last dispatch, while tiles are still in flight.
+	if cancelled || ctx.Err() != nil {
+		obs.C("bigopc.runs.cancelled").Inc()
+		return nil, ctx.Err()
+	}
 
 	res := &Result{Tiles: len(keys)}
 	for _, polys := range results {
@@ -214,8 +256,10 @@ func Run(targets []geom.Polygon, cfg Config) (*Result, error) {
 // correctTile runs CardOPC on one window and returns the owned shapes'
 // corrected outlines in layout coordinates. opt holds the calling
 // worker's reusable optimizer (created on its first tile; cfg.OPC was
-// validated by Run's cfg.Validate).
-func correctTile(sim *litho.Simulator, job *tileJob, cfg Config, opt **core.Optimizer) []geom.Polygon {
+// validated by Run's cfg.Validate). A cancelled context abandons the
+// tile mid-correction (between optimizer steps, after pooled scratch is
+// returned) — the caller discards the whole run anyway.
+func correctTile(ctx context.Context, sim *litho.Simulator, job *tileJob, cfg Config, opt **core.Optimizer) []geom.Polygon {
 	shift := job.origin.Mul(-1)
 	local := make([]geom.Polygon, 0, len(job.owned)+len(job.halo))
 	for _, t := range job.owned {
@@ -231,7 +275,10 @@ func correctTile(sim *litho.Simulator, job *tileJob, cfg Config, opt **core.Opti
 	} else {
 		(*opt).Reset(mask, local)
 	}
-	res := (*opt).Run()
+	res, err := (*opt).RunContext(ctx)
+	if err != nil {
+		return nil
+	}
 
 	// Main shapes come out in target order; keep the owned prefix.
 	var out []geom.Polygon

@@ -1,5 +1,6 @@
-// Package cli holds the small helpers shared by the command-line tools:
-// resolving a testcase argument to a layout clip and loading clip files.
+// Package cli holds the small helpers shared by the command-line tools
+// and the cardopcd service: resolving a testcase argument to a layout
+// clip, loading clip files and picking layer presets.
 package cli
 
 import (
@@ -7,6 +8,7 @@ import (
 	"os"
 	"strings"
 
+	"cardopc/internal/core"
 	"cardopc/internal/layout"
 )
 
@@ -49,4 +51,25 @@ func BuiltinClip(caseName string) (layout.Clip, error) {
 	}
 	return layout.Clip{}, fmt.Errorf("unknown case %q (want V1..V%d or M1..M%d)",
 		caseName, layout.NumViaClips, layout.NumMetalClips)
+}
+
+// PickConfig chooses the experiment preset for a layer name ("via",
+// "metal" or "large"). An empty layer falls back on the clip-name
+// convention: M-prefixed cases are metal, everything else via.
+func PickConfig(layer, caseName string) (core.Config, error) {
+	switch layer {
+	case "via":
+		return core.ViaConfig(), nil
+	case "metal":
+		return core.MetalConfig(), nil
+	case "large":
+		return core.LargeScaleConfig(), nil
+	case "":
+		if strings.HasPrefix(strings.ToUpper(caseName), "M") {
+			return core.MetalConfig(), nil
+		}
+		return core.ViaConfig(), nil
+	default:
+		return core.Config{}, fmt.Errorf("unknown layer %q (want via, metal or large)", layer)
+	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -79,14 +80,28 @@ func (o *Optimizer) Mask() *Mask { return o.mask }
 // Run executes the configured number of correction iterations and returns
 // the result.
 func (o *Optimizer) Run() *Result {
+	res, _ := o.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked between iterations — the boundary where every pooled FFT
+// grid and workspace a Step borrowed has been returned — so a
+// cancelled correction leaks nothing. On cancellation it returns the
+// partial result alongside ctx.Err().
+func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 	defer obs.Start("opc.run").End(obs.A("iterations", o.cfg.Iterations))
 	res := &Result{Mask: o.mask}
 	for it := 0; it < o.cfg.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			obs.C("opc.runs.cancelled").Inc()
+			return res, err
+		}
 		sum := o.Step(it)
 		res.History = append(res.History, sum)
 		res.Iterations++
 	}
-	return res
+	return res, nil
 }
 
 // Step performs one correction iteration (Fig. 2 steps ③–⑤) with moving

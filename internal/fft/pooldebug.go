@@ -10,21 +10,25 @@ import (
 // Pool-debug build: the runtime complement of the static poolcheck
 // analyzer. The analyzer proves pool discipline per function body; this
 // guard catches the cross-function cases it cannot see — a value
-// released twice through two different call chains. Build with
+// released twice through two different call chains, or a value checked
+// out and never returned. Build with
 //
-//	go test -tags cardopc_pooldebug ./internal/fft/
+//	go test -tags cardopc_pooldebug ./internal/fft/ ./internal/server/
 //
 // to turn every double PutGrid / double Workspace.Release into a panic
-// at the offending call site.
+// at the offending call site, and to expose PoolDebugOutstanding for
+// leak assertions (the cardopcd cancellation tests).
 //
-// poolDebugFree holds every value currently resident in a free pool,
-// keyed by identity. Entries reference their values strongly, so a
-// debug build pins pooled memory that sync.Pool would otherwise drop
-// under GC pressure — acceptable for a diagnostic build, never for
-// release (the release build compiles the hooks to nothing).
+// poolDebugFree holds every value currently resident in a free pool and
+// poolDebugOut every value currently checked out, keyed by identity.
+// Entries reference their values strongly, so a debug build pins pooled
+// memory that sync.Pool would otherwise drop under GC pressure —
+// acceptable for a diagnostic build, never for release (the release
+// build compiles the hooks to nothing).
 var (
 	poolDebugMu   sync.Mutex
 	poolDebugFree = map[any]string{}
+	poolDebugOut  = map[any]string{}
 )
 
 // debugCheckPut records v entering the free pool and panics when it is
@@ -36,11 +40,33 @@ func debugCheckPut(v any, what string) {
 		panic(fmt.Sprintf("fft: %s returned to the pool twice", what))
 	}
 	poolDebugFree[v] = what
+	delete(poolDebugOut, v)
 }
 
-// debugCheckGet records v leaving the free pool.
+// debugCheckGet records v leaving the free pool (or freshly allocated
+// on a pool miss) as checked out.
 func debugCheckGet(v any) {
 	poolDebugMu.Lock()
 	delete(poolDebugFree, v)
+	poolDebugOut[v] = "out"
+	poolDebugMu.Unlock()
+}
+
+// PoolDebugOutstanding returns the number of pooled values currently
+// checked out and not yet released — the leak count a balanced caller
+// drives back to zero. Only available under the cardopc_pooldebug tag.
+func PoolDebugOutstanding() int {
+	poolDebugMu.Lock()
+	defer poolDebugMu.Unlock()
+	return len(poolDebugOut)
+}
+
+// PoolDebugReset forgets all tracked state, isolating one test's leak
+// accounting from another's. Only available under the cardopc_pooldebug
+// tag.
+func PoolDebugReset() {
+	poolDebugMu.Lock()
+	poolDebugFree = map[any]string{}
+	poolDebugOut = map[any]string{}
 	poolDebugMu.Unlock()
 }

@@ -39,7 +39,9 @@ func GetGrid(w, h int) *Grid2 {
 		return g
 	}
 	obs.C("fft.pool.grid_miss").Inc()
-	return NewGrid2(w, h)
+	g := NewGrid2(w, h)
+	debugCheckGet(g)
+	return g
 }
 
 // PutGrid returns g to the free pool. g must not be used afterwards.
@@ -76,7 +78,9 @@ func GetWorkspace(w, h int) *Workspace {
 		return ws
 	}
 	obs.C("fft.pool.ws_miss").Inc()
-	return &Workspace{Grid: NewGrid2(w, h), Acc: make([]float64, n)}
+	ws := &Workspace{Grid: NewGrid2(w, h), Acc: make([]float64, n)}
+	debugCheckGet(ws)
+	return ws
 }
 
 // Release returns the workspace to the free pool. The workspace (and

@@ -1,0 +1,84 @@
+package litho
+
+import (
+	"sync"
+
+	"cardopc/internal/obs"
+)
+
+// ProcessCache shares built Process stacks (SOCS kernel sets plus their
+// corner simulators) across requests keyed by imaging configuration.
+// Kernel construction is the dominant cold-start cost of a correction
+// job (tens of FFT-sized grids filled per corner), and the kernel sets
+// are immutable once built, so a long-running server can hand the same
+// *Process to every job that images with the same optics. The cache is
+// safe for concurrent use; concurrent misses on the same key build once
+// and share the result.
+type ProcessCache struct {
+	mu     sync.Mutex
+	procs  map[processKey]*entry
+	hits   int64
+	misses int64
+}
+
+// processKey identifies one imaging setup. Config and CornerSpec are
+// flat comparable structs, so the pair is a valid map key.
+type processKey struct {
+	cfg     Config
+	corners CornerSpec
+}
+
+// entry carries the built process plus the once that guards its
+// construction, so a second request for the same key blocks on the
+// build instead of duplicating it.
+type entry struct {
+	once sync.Once
+	proc *Process
+}
+
+// NewProcessCache returns an empty cache.
+func NewProcessCache() *ProcessCache {
+	return &ProcessCache{procs: map[processKey]*entry{}}
+}
+
+// Get returns the shared Process for (cfg, corners), building it on the
+// first request. The returned Process is shared — callers must treat it
+// as immutable (Simulator already is, once constructed).
+func (c *ProcessCache) Get(cfg Config, corners CornerSpec) *Process {
+	if cfg.Dose == 0 {
+		cfg.Dose = 1
+	}
+	key := processKey{cfg: cfg, corners: corners}
+	c.mu.Lock()
+	e, ok := c.procs[key]
+	if !ok {
+		e = &entry{}
+		c.procs[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	if ok {
+		obs.C("litho.proc_cache.hit").Inc()
+	} else {
+		obs.C("litho.proc_cache.miss").Inc()
+	}
+	e.once.Do(func() { e.proc = NewProcess(cfg, corners) })
+	return e.proc
+}
+
+// Stats reports cache effectiveness: distinct configurations built and
+// requests served from warm state.
+func (c *ProcessCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of distinct imaging setups resident.
+func (c *ProcessCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.procs)
+}

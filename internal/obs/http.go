@@ -23,20 +23,29 @@ func publishExpvar() {
 	})
 }
 
-// ServeDebug starts an HTTP listener for long runs: net/http/pprof
-// under /debug/pprof/ and the expvar bridge under /debug/vars. It
-// returns the bound address (useful with ":0") or an error if the
-// listener cannot bind. The server runs until the process exits —
-// debug listeners are deliberately not part of run shutdown.
-func ServeDebug(addr string) (string, error) {
+// RegisterDebug mounts the debug handlers on an existing mux:
+// net/http/pprof under /debug/pprof/ and the expvar bridge under
+// /debug/vars. Long-running servers (cardopcd) call this to share their
+// API mux with the profiling endpoints; ServeDebug wraps it for the
+// one-shot CLIs.
+func RegisterDebug(mux *http.ServeMux) {
 	publishExpvar()
-	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// ServeDebug starts an HTTP listener for long runs: net/http/pprof
+// under /debug/pprof/ and the expvar bridge under /debug/vars. It
+// returns the bound address (useful with ":0") or an error if the
+// listener cannot bind. The server runs until the process exits —
+// debug listeners are deliberately not part of run shutdown.
+func ServeDebug(addr string) (string, error) {
+	mux := http.NewServeMux()
+	RegisterDebug(mux)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

@@ -89,6 +89,15 @@ func NewTelemetry(w io.Writer) *Telemetry {
 	return &Telemetry{buf: buf, enc: json.NewEncoder(buf)}
 }
 
+// NewTelemetryStream encodes records straight to w, one Write per
+// record, with no intermediate buffer: the live-streaming variant for
+// sinks that fan records out as they arrive (the cardopcd event hub).
+// Flush is a no-op. w must tolerate concurrent-free sequential writes —
+// Emit serialises them under the telemetry mutex.
+func NewTelemetryStream(w io.Writer) *Telemetry {
+	return &Telemetry{enc: json.NewEncoder(w)}
+}
+
 // Emit appends one record. Nil-safe; marshal errors are dropped (the
 // telemetry stream must never fail the run it observes).
 //
@@ -103,12 +112,16 @@ func (t *Telemetry) Emit(rec Record) {
 	t.mu.Unlock()
 }
 
-// Flush drains the buffer to the underlying writer. Nil-safe.
+// Flush drains the buffer to the underlying writer. Nil-safe; a no-op
+// for unbuffered (NewTelemetryStream) telemetry.
 func (t *Telemetry) Flush() error {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.buf == nil {
+		return nil
+	}
 	return t.buf.Flush()
 }

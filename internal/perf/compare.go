@@ -1,6 +1,9 @@
 package perf
 
-import "sort"
+import (
+	"sort"
+	"strings"
+)
 
 // Class classifies one benchmark (or one metric) against the baseline.
 type Class int
@@ -40,20 +43,40 @@ func (c Class) String() string {
 func (c Class) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
 
 // Tolerances maps a metric unit to its allowed relative regression
-// (0.30 = the new median may be up to 30% worse before gating). All
-// metrics are smaller-is-better; that holds for the standard units and
-// for every custom unit this repo reports (pts/op, violations).
+// (0.30 = the new median may be up to 30% worse before gating).
+// Metrics are smaller-is-better except for rate units — see
+// LargerIsBetter — where "worse" means the rate dropped.
 type Tolerances map[string]float64
 
 // DefaultTolerances reflects observed jitter of the tracked set under
 // -count=5: wall time is the noisiest, allocation counts are nearly
-// deterministic. Unlisted custom units fall back to DefaultTolerance.
+// deterministic. The service-level units (req/s throughput, p99-ms tail
+// latency from BenchmarkServeClip) ride on end-to-end job round-trips
+// and carry scheduler jitter on top of compute noise, so they get the
+// widest bands. Unlisted custom units fall back to DefaultTolerance.
 func DefaultTolerances() Tolerances {
 	return Tolerances{
 		"ns/op":     0.30,
 		"B/op":      0.15,
 		"allocs/op": 0.10,
+		"req/s":     0.35,
+		"p99-ms":    0.50,
 	}
+}
+
+// LargerIsBetter reports whether a metric unit is a rate, where a drop
+// (not a rise) is the regression. The convention: any "/s"-suffixed
+// unit (req/s, MB/s) is a rate; everything else — times, sizes, counts
+// — is smaller-is-better.
+func LargerIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s")
+}
+
+// wallClockUnit reports whether a unit measures wall time (directly or
+// as a rate), and therefore shifts wholesale across machines: these get
+// the cross-machine noise widening that ns/op always had.
+func wallClockUnit(unit string) bool {
+	return unit == "ns/op" || strings.HasSuffix(unit, "-ms") || LargerIsBetter(unit)
 }
 
 // DefaultTolerance applies to units without an explicit entry.
@@ -220,22 +243,31 @@ func diffMetrics(old, new map[string]float64, tol Tolerances, widen float64) ([]
 	class := OK
 	for _, u := range units {
 		d := MetricDelta{Unit: u, Old: old[u], New: new[u], Tol: tol.For(u)}
-		if u == "ns/op" {
+		if wallClockUnit(u) {
 			d.Tol *= widen
 		}
 		switch {
 		case d.Old == 0 && d.New == 0:
 			d.Delta, d.Class = 0, OK
+		case d.Old == 0 && LargerIsBetter(u):
+			// A rate appearing from zero is strictly better.
+			d.Delta, d.Class = 1, Improved
 		case d.Old == 0:
 			// No relative scale: treat any appearance as a full
 			// regression (e.g. 0 allocs/op growing to 1).
 			d.Delta, d.Class = 1, Regressed
 		default:
 			d.Delta = (d.New - d.Old) / d.Old
+			// Delta stays signed as reported ((New-Old)/Old); for rate
+			// units the regression direction flips — a drop is worse.
+			worse := d.Delta
+			if LargerIsBetter(u) {
+				worse = -d.Delta
+			}
 			switch {
-			case d.Delta > d.Tol:
+			case worse > d.Tol:
 				d.Class = Regressed
-			case d.Delta < -d.Tol:
+			case worse < -d.Tol:
 				d.Class = Improved
 			default:
 				d.Class = OK

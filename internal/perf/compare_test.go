@@ -115,6 +115,69 @@ func TestCompareClasses(t *testing.T) {
 	}
 }
 
+// rateSamples builds a one-benchmark ParseResult carrying the service
+// units: req/s (larger-is-better) and p99-ms.
+func rateSamples(name string, reqs, p99 float64) *ParseResult {
+	res := &ParseResult{Samples: map[string][]Sample{}}
+	res.Names = append(res.Names, name)
+	res.Samples[name] = []Sample{{
+		Iters:   10,
+		Procs:   4,
+		Metrics: map[string]float64{"ns/op": 1e6, "req/s": reqs, "p99-ms": p99},
+	}}
+	return res
+}
+
+// TestCompareRateUnits: for "/s"-suffixed units the regression direction
+// flips — a throughput drop gates, a throughput rise is an improvement —
+// while p99-ms keeps the smaller-is-better sense.
+func TestCompareRateUnits(t *testing.T) {
+	base := NewBaseline(env(), merge(
+		rateSamples("pkg.BenchmarkServeDrop", 100, 10),
+		rateSamples("pkg.BenchmarkServeRise", 100, 10),
+		rateSamples("pkg.BenchmarkServeTail", 100, 10),
+	))
+	run := merge(
+		rateSamples("pkg.BenchmarkServeDrop", 40, 10),  // −60% req/s: regressed
+		rateSamples("pkg.BenchmarkServeRise", 200, 10), // +100% req/s: improved
+		rateSamples("pkg.BenchmarkServeTail", 100, 40), // 4× p99-ms: regressed
+	)
+	cmp := Compare(run, base, Options{Env: env()})
+
+	drop := resultFor(t, cmp, "pkg.BenchmarkServeDrop")
+	if drop.Class != Regressed {
+		t.Fatalf("req/s drop classified %v, want regressed", drop.Class)
+	}
+	for _, m := range drop.Metrics {
+		if m.Unit == "req/s" {
+			if m.Class != Regressed {
+				t.Errorf("req/s metric classified %v, want regressed", m.Class)
+			}
+			if m.Delta > 0 {
+				t.Errorf("req/s delta = %v, want the signed raw drop (negative)", m.Delta)
+			}
+		}
+	}
+	if rise := resultFor(t, cmp, "pkg.BenchmarkServeRise"); rise.Class != Improved {
+		t.Errorf("req/s rise classified %v, want improved", rise.Class)
+	}
+	if tail := resultFor(t, cmp, "pkg.BenchmarkServeTail"); tail.Class != Regressed {
+		t.Errorf("p99-ms blow-up classified %v, want regressed", tail.Class)
+	}
+}
+
+// TestCompareRateFromZero: a rate appearing from a zero baseline is an
+// improvement, not the 0→nonzero regression rule used for counts.
+func TestCompareRateFromZero(t *testing.T) {
+	base := NewBaseline(env(), rateSamples("pkg.BenchmarkServe", 0, 10))
+	run := rateSamples("pkg.BenchmarkServe", 50, 10)
+	cmp := Compare(run, base, Options{Env: env()})
+	r := resultFor(t, cmp, "pkg.BenchmarkServe")
+	if r.Class != Improved {
+		t.Fatalf("0→50 req/s classified %v, want improved", r.Class)
+	}
+}
+
 // TestCompareZeroBaselineAllocs: a benchmark recorded at 0 allocs/op that
 // starts allocating has no relative delta; it must still regress.
 func TestCompareZeroBaselineAllocs(t *testing.T) {

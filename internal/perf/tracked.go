@@ -20,14 +20,22 @@ type Tracked struct {
 	Pkg string
 	// Pattern is the -bench regexp selecting the tracked benchmarks.
 	Pattern string
+	// Benchtime, when non-empty, overrides RunOptions.Benchtime for this
+	// package. Coarse benchmarks need it: at ~70 ms/op the global 100ms
+	// budget yields b.N=2, too few iterations for per-op allocation
+	// metrics to amortize background activity, so their B/op flaps. A
+	// fixed "Nx" iteration count keeps those metrics comparable.
+	Benchtime string
 }
 
 // TrackedSet returns the curated hot-path set, one entry per package:
 // FFT transforms (the litho inner loop), aerial image + adjoint gradient
 // (the OPC/ILT cost evaluation), raster fill and marching squares (mask
 // ↔ field conversion), R-tree build/search (MRC neighbour queries),
-// spline evaluation (control-point connection), MRC resolve, and the
-// cardopc-vet driver cold vs warm-cache (the CI gate's own latency).
+// spline evaluation (control-point connection), MRC resolve, the
+// cardopc-vet driver cold vs warm-cache (the CI gate's own latency),
+// and the cardopcd service round-trip (submit → poll → done on a warm
+// daemon, reporting req/s and p99-ms alongside ns/op).
 func TrackedSet() []Tracked {
 	return []Tracked{
 		{Pkg: "./internal/analysis", Pattern: "^(BenchmarkVetCold|BenchmarkVetWarm|BenchmarkVetDataflow)$"},
@@ -37,6 +45,7 @@ func TrackedSet() []Tracked {
 		{Pkg: "./internal/rtree", Pattern: "^(BenchmarkSTRBuild1000|BenchmarkSearch1000)$"},
 		{Pkg: "./internal/spline", Pattern: "^BenchmarkLoopSample$"},
 		{Pkg: "./internal/mrc", Pattern: "^BenchmarkResolveSpacing$"},
+		{Pkg: "./internal/server", Pattern: "^BenchmarkServeClip$", Benchtime: "15x"},
 	}
 }
 
@@ -78,8 +87,12 @@ func RunTracked(set []Tracked, opt RunOptions) ([]byte, error) {
 			"-benchmem",
 			"-count", strconv.Itoa(opt.Count),
 		}
-		if opt.Benchtime != "" {
-			args = append(args, "-benchtime", opt.Benchtime)
+		benchtime := opt.Benchtime
+		if t.Benchtime != "" {
+			benchtime = t.Benchtime
+		}
+		if benchtime != "" {
+			args = append(args, "-benchtime", benchtime)
 		}
 		if opt.CPU > 0 {
 			args = append(args, "-cpu", strconv.Itoa(opt.CPU))

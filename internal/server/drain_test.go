@@ -1,0 +1,198 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDrainFinishesInFlight: drain must let the running job complete,
+// flip healthz to 503/draining, and answer new submits with 503.
+func TestDrainFinishesInFlight(t *testing.T) {
+	s, ts := testServer(t, Config{})
+
+	spec := tinySpec()
+	spec.Iters = 200 // long enough to still be running when we drain
+	v, _ := postJob(t, ts, spec)
+	waitRunning(t, ts, v.ID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// The in-flight job ran to completion, not cancellation.
+	done := getJob(t, ts, v.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("in-flight job ended %s (%s), want done", done.Status, done.Error)
+	}
+
+	// Healthz reports draining with 503.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: got %d, want 503", resp.StatusCode)
+	}
+
+	// New submissions are refused with 503.
+	if _, resp := postJob(t, ts, tinySpec()); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: got %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers: when the drain deadline passes,
+// the in-flight job is cancelled rather than held forever.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	s, ts := testServer(t, Config{})
+
+	v, _ := postJob(t, ts, slowSpec())
+	waitRunning(t, ts, v.ID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain after deadline: %v", err)
+	}
+	done := getJob(t, ts, v.ID)
+	if done.Status != StatusCancelled {
+		t.Fatalf("straggler ended %s, want cancelled", done.Status)
+	}
+}
+
+// TestQueueFullBackpressure: with a single executor busy and the
+// one-slot queue occupied, the next submit gets 429 + Retry-After, and
+// the rejected job is not tracked.
+func TestQueueFullBackpressure(t *testing.T) {
+	_, ts := testServer(t, Config{QueueDepth: 1})
+
+	running, _ := postJob(t, ts, slowSpec())
+	waitRunning(t, ts, running.ID) // executor busy, queue empty
+
+	queued, resp := postJob(t, ts, tinySpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: got %d, want 202", resp.StatusCode)
+	}
+
+	rejected, resp := postJob(t, ts, tinySpec())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: got %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if rejected.ID != "" {
+		if r, err := http.Get(ts.URL + "/v1/jobs/" + rejected.ID); err == nil {
+			r.Body.Close()
+			if r.StatusCode != http.StatusNotFound {
+				t.Fatalf("rejected job still tracked: %d", r.StatusCode)
+			}
+		}
+	}
+
+	// Unblock: cancel the hog, let the queued job finish.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+running.ID, nil)
+	if r, err := http.DefaultClient.Do(req); err == nil {
+		r.Body.Close()
+	}
+	waitTerminal(t, ts, running.ID, 30*time.Second)
+	if w := waitTerminal(t, ts, queued.ID, 30*time.Second); w.Status != StatusDone {
+		t.Fatalf("queued job ended %s (%s)", w.Status, w.Error)
+	}
+}
+
+// TestPerJobTimeout: a spec's TimeoutMS bounds its run and the job ends
+// cancelled.
+func TestPerJobTimeout(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	spec := slowSpec()
+	spec.TimeoutMS = 30
+	v, _ := postJob(t, ts, spec)
+	done := waitTerminal(t, ts, v.ID, 30*time.Second)
+	if done.Status != StatusCancelled {
+		t.Fatalf("timed-out job ended %s (%s), want cancelled", done.Status, done.Error)
+	}
+}
+
+// TestCancelQueuedJob: cancelling before the executor picks the job up
+// marks it cancelled and the executor skips it.
+func TestCancelQueuedJob(t *testing.T) {
+	_, ts := testServer(t, Config{QueueDepth: 4})
+
+	hog, _ := postJob(t, ts, slowSpec())
+	waitRunning(t, ts, hog.ID)
+	queued, _ := postJob(t, ts, tinySpec())
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if w := getJob(t, ts, queued.ID); w.Status != StatusCancelled {
+		t.Fatalf("queued job %s after cancel, want cancelled", w.Status)
+	}
+
+	// The cancelled job's event stream must end, not hang tailers.
+	r, err := http.Get(ts.URL + "/v1/jobs/" + queued.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		buf := make([]byte, 1024)
+		for {
+			if _, err := r.Body.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("event stream of a cancelled queued job did not end")
+	}
+	r.Body.Close()
+
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+hog.ID, nil)
+	if r, err := http.DefaultClient.Do(req); err == nil {
+		r.Body.Close()
+	}
+	waitTerminal(t, ts, hog.ID, 30*time.Second)
+}
+
+// TestPanicIsolation: a panic inside a job marks that one job failed
+// and leaves the daemon serving subsequent jobs.
+func TestPanicIsolation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	// Poison exactly one job via the fault-injection seam, keyed off a
+	// sentinel SizeNM so only the marked job blows up in the sandbox.
+	faultInjection = func(spec JobSpec) {
+		if spec.SizeNM == 666 {
+			panic("injected fault")
+		}
+	}
+	defer func() { faultInjection = nil }()
+
+	poisoned := tinySpec()
+	poisoned.SizeNM = 666
+	v, _ := postJob(t, ts, poisoned)
+	done := waitTerminal(t, ts, v.ID, 30*time.Second)
+	if done.Status != StatusFailed || !strings.Contains(done.Error, "injected fault") {
+		t.Fatalf("poisoned job: %s (%q), want failed with the panic message", done.Status, done.Error)
+	}
+
+	// The daemon still serves.
+	follow, _ := postJob(t, ts, tinySpec())
+	if w := waitTerminal(t, ts, follow.ID, 30*time.Second); w.Status != StatusDone {
+		t.Fatalf("follow-up job ended %s (%s)", w.Status, w.Error)
+	}
+}

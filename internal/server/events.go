@@ -1,0 +1,145 @@
+package server
+
+import (
+	"sync"
+
+	"cardopc/internal/obs"
+)
+
+// The event plumbing: cardopcd installs an obs telemetry stream whose
+// sink is the eventHub, so every record the pipeline already emits
+// (opc.iter, bigopc.tile, …) plus the server's own job.status records
+// arrive here as finished JSONL lines. The hub fans each line out to
+// the event logs of the jobs running at that moment; /v1/jobs/{id}/events
+// replays a job's log and live-tails it until the job ends.
+//
+// Attribution is exact with one executor (the default): every record
+// emitted while job J runs belongs to J. With ExecWorkers > 1 the
+// compute records carry no job identity, so concurrent jobs see each
+// other's telemetry interleaved — the job.status records still carry
+// their job id.
+
+// JobStatusEvent is the server's own lifecycle record in the stream.
+type JobStatusEvent struct {
+	obs.Tag
+	// ID is the job id the transition belongs to.
+	ID string `json:"id"`
+	// Status is the state entered (running, done, failed, cancelled).
+	Status Status `json:"status"`
+	// Err carries the failure reason for failed/cancelled.
+	Err string `json:"err,omitempty"`
+	// DurMS is the run time for terminal transitions.
+	DurMS float64 `json:"dur_ms,omitempty"`
+}
+
+// Kind implements obs.Record.
+func (*JobStatusEvent) Kind() string { return "job.status" }
+
+// eventHub receives the telemetry byte stream and routes lines to the
+// running jobs' event logs. It implements io.Writer; obs.Telemetry
+// serialises writes, one complete JSONL line per call.
+type eventHub struct {
+	mu      sync.Mutex
+	running map[*jobEvents]struct{}
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{running: map[*jobEvents]struct{}{}}
+}
+
+// attach registers a job's event log as live.
+func (h *eventHub) attach(e *jobEvents) {
+	h.mu.Lock()
+	h.running[e] = struct{}{}
+	h.mu.Unlock()
+}
+
+// detach removes a job's event log.
+func (h *eventHub) detach(e *jobEvents) {
+	h.mu.Lock()
+	delete(h.running, e)
+	h.mu.Unlock()
+}
+
+// Write fans one JSONL line out to every live job log. The line is
+// copied once; logs share the copy (they never mutate it).
+func (h *eventHub) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	if len(h.running) > 0 {
+		line := make([]byte, len(p))
+		copy(line, p)
+		for e := range h.running {
+			e.append(line)
+		}
+	}
+	h.mu.Unlock()
+	return len(p), nil
+}
+
+// jobEvents is one job's retained event log plus its live subscribers.
+type jobEvents struct {
+	mu      sync.Mutex
+	lines   [][]byte
+	dropped int // lines discarded once the cap was hit
+	max     int
+	closed  bool
+	notify  chan struct{} // closed and replaced on every append/close
+}
+
+func newJobEvents(max int) *jobEvents {
+	if max <= 0 {
+		max = 4096
+	}
+	return &jobEvents{max: max, notify: make(chan struct{})}
+}
+
+// append retains one line (dropping the oldest beyond the cap) and
+// wakes subscribers.
+func (e *jobEvents) append(line []byte) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	if len(e.lines) >= e.max {
+		e.lines = e.lines[1:]
+		e.dropped++
+	}
+	e.lines = append(e.lines, line)
+	close(e.notify)
+	e.notify = make(chan struct{})
+	e.mu.Unlock()
+}
+
+// close marks the stream finished and wakes subscribers one last time.
+func (e *jobEvents) close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.notify)
+	}
+	e.mu.Unlock()
+}
+
+// from returns the lines at absolute index >= off (absolute = including
+// dropped lines), the next absolute index, whether the stream is
+// closed, and a channel that closes on the next change.
+func (e *jobEvents) from(off int) (lines [][]byte, next int, closed bool, changed <-chan struct{}) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	start := off - e.dropped
+	if start < 0 {
+		start = 0
+	}
+	if start < len(e.lines) {
+		lines = e.lines[start:]
+	}
+	return lines, e.dropped + len(e.lines), e.closed, e.notify
+}
+
+// Len returns the number of retained lines.
+func (e *jobEvents) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.lines)
+}

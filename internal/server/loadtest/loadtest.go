@@ -1,0 +1,281 @@
+// Package loadtest is the hand-rolled closed-loop load generator for
+// cardopcd: N workers each submit a job, poll it to completion, record
+// the end-to-end latency and immediately submit the next. It reports
+// throughput and latency quantiles in the same units the benchdiff gate
+// tracks (req/s, p50-ms, p99-ms), so a soak run and the benchmark
+// suite speak the same language.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config tunes one load-test run.
+type Config struct {
+	// BaseURL is the daemon under test, e.g. "http://127.0.0.1:8347".
+	BaseURL string
+	// Duration is how long to keep submitting (default 10 s).
+	Duration time.Duration
+	// Concurrency is the number of closed-loop workers (default 2).
+	Concurrency int
+	// Spec is the job every worker submits, as raw JSON. Empty uses a
+	// small built-in clip spec.
+	Spec []byte
+	// PollInterval is the status poll spacing (default 10 ms).
+	PollInterval time.Duration
+	// Client overrides the HTTP client (default: 30 s timeout).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2
+	}
+	if len(c.Spec) == 0 {
+		c.Spec = []byte(DefaultSpecJSON)
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 10 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// DefaultSpecJSON is the stock workload: one small clip on a 128 px
+// raster, four iterations — heavy enough to exercise the full pipeline,
+// light enough to finish in tens of milliseconds on a warm daemon.
+const DefaultSpecJSON = `{
+  "kind": "clip",
+  "targets": [[[480, 480], [544, 480], [544, 544], [480, 544]]],
+  "size_nm": 1024,
+  "grid": 128,
+  "pitch_nm": 8,
+  "iters": 4
+}`
+
+// Result is the aggregate outcome of a run.
+type Result struct {
+	Requests  int       `json:"requests"`  // jobs completed (status done)
+	Failed    int       `json:"failed"`    // jobs that ended failed/cancelled
+	Errors    int       `json:"errors"`    // transport/protocol errors
+	Throttled int       `json:"throttled"` // 429 responses honoured
+	Elapsed   float64   `json:"elapsed_s"` // wall time of the run
+	ReqPerSec float64   `json:"req_per_s"` // Requests / Elapsed
+	P50MS     float64   `json:"p50_ms"`    // end-to-end latency quantiles
+	P90MS     float64   `json:"p90_ms"`    //
+	P99MS     float64   `json:"p99_ms"`    //
+	MaxMS     float64   `json:"max_ms"`    //
+	MeanMS    float64   `json:"mean_ms"`   //
+	Latencies []float64 `json:"-"`         // every sample, milliseconds
+}
+
+// String renders the one-line summary the soak job greps for.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"loadtest: %d ok, %d failed, %d errors, %d throttled in %.1fs — %.2f req/s, p50 %.1f ms, p90 %.1f ms, p99 %.1f ms, max %.1f ms",
+		r.Requests, r.Failed, r.Errors, r.Throttled, r.Elapsed,
+		r.ReqPerSec, r.P50MS, r.P90MS, r.P99MS, r.MaxMS)
+}
+
+// jobView is the slice of the daemon's job JSON the harness needs.
+type jobView struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Error  string `json:"error"`
+}
+
+// Run drives the load until cfg.Duration elapses or ctx is cancelled,
+// then drains in-flight jobs and aggregates.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return Result{}, fmt.Errorf("loadtest: BaseURL required")
+	}
+	// Validate the spec once up front, so a typo is an error, not a
+	// thousand 400s.
+	var probe map[string]any
+	if err := json.Unmarshal(cfg.Spec, &probe); err != nil {
+		return Result{}, fmt.Errorf("loadtest: bad spec JSON: %w", err)
+	}
+
+	deadline := time.Now().Add(cfg.Duration)
+	runCtx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	var (
+		mu  sync.Mutex
+		agg Result
+		wg  sync.WaitGroup
+	)
+	t0 := time.Now()
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := worker{cfg: cfg}
+			for time.Now().Before(deadline) && runCtx.Err() == nil {
+				w.oneJob(runCtx)
+			}
+			mu.Lock()
+			agg.Requests += w.ok
+			agg.Failed += w.failed
+			agg.Errors += w.errors
+			agg.Throttled += w.throttled
+			agg.Latencies = append(agg.Latencies, w.latencies...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	agg.Elapsed = time.Since(t0).Seconds()
+	finalize(&agg)
+	return agg, nil
+}
+
+// worker is one closed-loop submitter.
+type worker struct {
+	cfg       Config
+	ok        int
+	failed    int
+	errors    int
+	throttled int
+	latencies []float64
+}
+
+// oneJob submits, polls to a terminal state and records the end-to-end
+// latency. In-flight jobs are polled past the run deadline (with the
+// background context) so the tail is measured, not truncated.
+func (w *worker) oneJob(ctx context.Context) {
+	t0 := time.Now()
+	v, code, err := w.post(ctx)
+	switch {
+	case err != nil:
+		if ctx.Err() == nil {
+			w.errors++
+		}
+		return
+	case code == http.StatusTooManyRequests:
+		w.throttled++
+		w.sleep(ctx, time.Second)
+		return
+	case code != http.StatusAccepted:
+		w.errors++
+		return
+	}
+	for {
+		v, code, err = w.get(context.Background(), v.ID)
+		if err != nil || code != http.StatusOK {
+			w.errors++
+			return
+		}
+		switch v.Status {
+		case "done":
+			w.ok++
+			w.latencies = append(w.latencies, time.Since(t0).Seconds()*1e3)
+			return
+		case "failed", "cancelled":
+			w.failed++
+			return
+		}
+		w.sleep(context.Background(), w.cfg.PollInterval)
+	}
+}
+
+func (w *worker) post(ctx context.Context) (jobView, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.cfg.BaseURL+"/v1/jobs", bytes.NewReader(w.cfg.Spec))
+	if err != nil {
+		return jobView{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.do(req)
+}
+
+func (w *worker) get(ctx context.Context, id string) (jobView, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		w.cfg.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return jobView{}, 0, err
+	}
+	return w.do(req)
+}
+
+func (w *worker) do(req *http.Request) (jobView, int, error) {
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return jobView{}, 0, err
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&v); err != nil {
+		return jobView{}, resp.StatusCode, nil // error bodies may not parse as jobView
+	}
+	return v, resp.StatusCode, nil
+}
+
+func (w *worker) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// finalize computes the derived fields from the raw samples.
+func finalize(r *Result) {
+	if r.Elapsed > 0 {
+		r.ReqPerSec = float64(r.Requests) / r.Elapsed
+	}
+	if len(r.Latencies) == 0 {
+		return
+	}
+	sort.Float64s(r.Latencies)
+	r.P50MS = quantile(r.Latencies, 0.50)
+	r.P90MS = quantile(r.Latencies, 0.90)
+	r.P99MS = quantile(r.Latencies, 0.99)
+	r.MaxMS = r.Latencies[len(r.Latencies)-1]
+	sum := 0.0
+	for _, v := range r.Latencies {
+		sum += v
+	}
+	r.MeanMS = sum / float64(len(r.Latencies))
+}
+
+// quantile reads q from sorted samples with linear interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ParseDurationFlag accepts "60" (seconds) as well as "60s"/"2m", for
+// ergonomic CLI use.
+func ParseDurationFlag(s string) (time.Duration, error) {
+	if sec, err := strconv.Atoi(s); err == nil {
+		return time.Duration(sec) * time.Second, nil
+	}
+	return time.ParseDuration(s)
+}

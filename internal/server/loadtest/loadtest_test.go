@@ -1,0 +1,84 @@
+package loadtest
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cardopc/internal/server"
+)
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Duration:    2 * time.Second,
+		Concurrency: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Errors != 0 || res.Failed != 0 {
+		t.Fatalf("errors=%d failed=%d: %s", res.Errors, res.Failed, res)
+	}
+	if res.ReqPerSec <= 0 || res.P50MS <= 0 || res.P99MS < res.P50MS || res.MaxMS < res.P99MS {
+		t.Fatalf("implausible stats: %s", res)
+	}
+	if len(res.Latencies) != res.Requests {
+		t.Fatalf("%d samples for %d requests", len(res.Latencies), res.Requests)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Spec: []byte("{nope")}); err == nil {
+		t.Fatal("bad spec JSON accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 10}, {0.5, 5.5}, {0.9, 9.1},
+	} {
+		if got := quantile(sorted, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("q%.2f = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := quantile([]float64{42}, 0.99); got != 42 {
+		t.Errorf("single sample: %v", got)
+	}
+}
+
+func TestParseDurationFlag(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"60", 60 * time.Second}, {"90s", 90 * time.Second}, {"2m", 2 * time.Minute},
+	} {
+		got, err := ParseDurationFlag(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("%q: %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseDurationFlag("nope"); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Queue errors surfaced to the HTTP layer.
+var (
+	// ErrQueueFull maps to 429 + Retry-After: the bounded queue is at
+	// capacity and the client should back off.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining maps to 503: the server is shutting down and no
+	// longer accepts work.
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// jobQueue is the bounded submission queue feeding the executor pool.
+// The RWMutex serialises enqueue against drain's channel close: submits
+// hold the read side, so drain (write side) can only close the channel
+// while no send is in flight.
+type jobQueue struct {
+	mu       sync.RWMutex
+	ch       chan *Job
+	draining bool
+	workers  sync.WaitGroup
+}
+
+func newJobQueue(depth int) *jobQueue {
+	if depth <= 0 {
+		depth = 64
+	}
+	return &jobQueue{ch: make(chan *Job, depth)}
+}
+
+// enqueue adds the job or reports why it cannot.
+func (q *jobQueue) enqueue(j *Job) error {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.draining {
+		return ErrDraining
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// depth returns the number of queued jobs.
+func (q *jobQueue) depth() int { return len(q.ch) }
+
+// start launches n executors running run for each accepted job. The
+// executors exit when the queue is drained and empty.
+func (q *jobQueue) start(n int, run func(*Job)) {
+	for i := 0; i < n; i++ {
+		q.workers.Add(1)
+		go func() {
+			defer q.workers.Done()
+			for j := range q.ch {
+				run(j)
+			}
+		}()
+	}
+}
+
+// drain stops accepting new jobs. Everything already accepted — queued
+// or in flight — still runs to completion; wait blocks until the
+// executors finish. Idempotent.
+func (q *jobQueue) drain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return
+	}
+	q.draining = true
+	close(q.ch)
+}
+
+// isDraining reports whether drain was called.
+func (q *jobQueue) isDraining() bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.draining
+}
+
+// wait blocks until every executor has exited, or ctx expires.
+func (q *jobQueue) wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		q.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Soak the cardopcd daemon: boot it on an ephemeral port, drive it with
+# the closed-loop load generator while sampling a CPU profile off
+# /debug/pprof/profile, render the profile as a flame-style SVG call
+# graph (needs graphviz), then SIGTERM the daemon and check the drain.
+#
+# Usage: scripts/soak.sh [duration] [concurrency] [outdir]
+#   duration     load duration, plain seconds or Go duration (default 60s)
+#   concurrency  closed-loop workers (default 4)
+#   outdir       artifact directory (default soak-out)
+#
+# Artifacts: cardopcd.log, loadtest.json, profile.pb.gz, flame.svg,
+# metrics.json, summary.md. Exit non-zero when the load test saw
+# errors/failures, the profile could not be captured, or the daemon did
+# not drain cleanly.
+set -euo pipefail
+
+DURATION="${1:-60s}"
+CONCURRENCY="${2:-4}"
+OUT="${3:-soak-out}"
+
+# Normalise the duration to whole seconds for pprof's ?seconds= query.
+secs="${DURATION%s}"
+case "$DURATION" in
+  *m) secs=$(( ${DURATION%m} * 60 )) ;;
+esac
+if ! [[ "$secs" =~ ^[0-9]+$ ]]; then
+  echo "soak: cannot parse duration '$DURATION' (use 60, 60s or 2m)" >&2
+  exit 2
+fi
+# Profile for most of the load window, leaving margin so the profile
+# request finishes while load is still running.
+profile_secs=$(( secs > 10 ? secs - 5 : secs / 2 ))
+[ "$profile_secs" -lt 1 ] && profile_secs=1
+
+mkdir -p "$OUT"
+rm -f "$OUT"/cardopcd.log "$OUT"/loadtest.json "$OUT"/profile.pb.gz \
+      "$OUT"/flame.svg "$OUT"/metrics.json "$OUT"/summary.md
+
+echo "soak: building cardopcd"
+go build -o "$OUT/cardopcd" ./cmd/cardopcd
+
+echo "soak: booting daemon"
+"$OUT/cardopcd" -addr 127.0.0.1:0 >"$OUT/cardopcd.log" 2>&1 &
+DPID=$!
+trap 'kill -9 "$DPID" 2>/dev/null || true' EXIT
+
+URL=""
+for _ in $(seq 1 50); do
+  URL=$(sed -n 's/^cardopcd listening on //p' "$OUT/cardopcd.log" | head -1)
+  [ -n "$URL" ] && break
+  sleep 0.2
+done
+if [ -z "$URL" ]; then
+  echo "soak: daemon never came up:" >&2
+  cat "$OUT/cardopcd.log" >&2
+  exit 1
+fi
+echo "soak: daemon at $URL (pid $DPID)"
+curl -fsS "$URL/healthz" >/dev/null
+
+echo "soak: sampling ${profile_secs}s CPU profile under ${DURATION} of load (${CONCURRENCY} workers)"
+curl -fsS -o "$OUT/profile.pb.gz" "$URL/debug/pprof/profile?seconds=$profile_secs" &
+PROF=$!
+
+"$OUT/cardopcd" loadtest -addr "$URL" -d "$DURATION" -c "$CONCURRENCY" -json \
+  | tee "$OUT/loadtest.json"
+LOAD_RC=${PIPESTATUS[0]}
+
+if ! wait "$PROF"; then
+  echo "soak: profile capture failed" >&2
+  exit 1
+fi
+gunzip -t "$OUT/profile.pb.gz" 2>/dev/null || true
+test -s "$OUT/profile.pb.gz"
+
+curl -fsS "$URL/metrics" >"$OUT/metrics.json"
+
+echo "soak: rendering flame graph"
+if command -v dot >/dev/null 2>&1; then
+  go tool pprof -svg -output "$OUT/flame.svg" "$OUT/cardopcd" "$OUT/profile.pb.gz"
+  echo "soak: flame graph at $OUT/flame.svg"
+else
+  echo "soak: graphviz (dot) not installed; skipping SVG render" >&2
+  echo "      inspect with: go tool pprof $OUT/cardopcd $OUT/profile.pb.gz" >&2
+fi
+
+echo "soak: draining daemon (SIGTERM)"
+kill -TERM "$DPID"
+DRAINED=0
+for _ in $(seq 1 120); do
+  if ! kill -0 "$DPID" 2>/dev/null; then DRAINED=1; break; fi
+  sleep 1
+done
+trap - EXIT
+if [ "$DRAINED" != 1 ]; then
+  echo "soak: daemon did not exit after SIGTERM" >&2
+  kill -9 "$DPID" 2>/dev/null || true
+  exit 1
+fi
+grep -q "drained, bye" "$OUT/cardopcd.log" || {
+  echo "soak: drain did not complete cleanly:" >&2
+  tail -5 "$OUT/cardopcd.log" >&2
+  exit 1
+}
+
+{
+  echo "## cardopcd soak"
+  echo
+  echo "- duration: ${DURATION}, concurrency: ${CONCURRENCY}"
+  echo "- load: \`$(python3 - "$OUT/loadtest.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+print(f"{r['req_per_s']:.2f} req/s, p50 {r['p50_ms']:.1f} ms, p90 {r['p90_ms']:.1f} ms, p99 {r['p99_ms']:.1f} ms "
+      f"({r['requests']} ok, {r['failed']} failed, {r['errors']} errors, {r['throttled']} throttled)")
+EOF
+)\`"
+  echo "- kernel builds over the whole soak: \`$(python3 - "$OUT/metrics.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+print(m["metrics"]["counters"].get("litho.build_kernels", "absent"))
+EOF
+)\` (warm cache ⇒ flat at the distinct-config count)"
+  echo "- profile: profile.pb.gz ($(wc -c <"$OUT/profile.pb.gz") bytes), flame graph: $( [ -f "$OUT/flame.svg" ] && echo flame.svg || echo "not rendered" )"
+  echo "- drain: clean"
+} >"$OUT/summary.md"
+cat "$OUT/summary.md"
+
+exit "$LOAD_RC"
