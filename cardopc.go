@@ -25,6 +25,7 @@
 package cardopc
 
 import (
+	"context"
 	"io"
 
 	"cardopc/internal/baseline"
@@ -225,6 +226,13 @@ func DefaultILTConfig() ILTConfig { return ilt.DefaultConfig() }
 // RunILT optimises a pixel mask for the 0/1 target image.
 func RunILT(sim *Simulator, target *Field, cfg ILTConfig) *ILTResult {
 	return ilt.Run(sim, target, cfg)
+}
+
+// RunILTContext is RunILT with cooperative cancellation: the context is
+// checked between descent iterations; on cancellation the partial
+// result is returned alongside ctx.Err().
+func RunILTContext(ctx context.Context, sim *Simulator, target *Field, cfg ILTConfig) (*ILTResult, error) {
+	return ilt.RunContext(ctx, sim, target, cfg)
 }
 
 // FitConfig tunes Algorithm 1 (spline fitting of ILT masks).

@@ -1,8 +1,11 @@
 // Command cardopc-vet runs CardOPC's project-specific static-analysis
 // suite (internal/analysis) over the module — syntactic passes
 // (floatcmp, nanguard, loopcapture, mutexcopy, errcheck-lite, bufalias,
-// unitcheck, detorder, goleak) and the CFG-based dataflow passes
-// (poolcheck, noalloc, obsguard). It is the same gate
+// unitcheck, detorder, goleak), the CFG-based dataflow passes
+// (poolcheck, noalloc, obsguard), and the interprocedural passes built
+// on the module call graph and per-function summaries (ctxflow,
+// lockcheck, nonblock; poolcheck also consults the summaries to follow
+// pooled values through helpers). It is the same gate
 // selfcheck_test.go enforces under `go test ./...`, exposed as a
 // binary so CI and humans share one tool.
 //

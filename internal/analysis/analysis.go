@@ -54,6 +54,10 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Mod is the module the package was loaded as part of; the
+	// interprocedural analyzers reach the call graph and function
+	// summaries through Mod.Interproc().
+	Mod *Module
 
 	diags *[]Diagnostic
 }
@@ -88,6 +92,9 @@ func All() []*Analyzer {
 		PoolCheck,
 		NoAlloc,
 		ObsGuard,
+		CtxFlow,
+		LockCheck,
+		NonBlock,
 	}
 }
 
@@ -130,7 +137,7 @@ func RunPackage(mod *Module, pkg *Package, analyzers []*Analyzer, tm *Timings) [
 	pkgStart := time.Now()
 	for _, a := range analyzers {
 		start := time.Now()
-		pass := &Pass{Analyzer: a, Fset: mod.Fset, Pkg: pkg, diags: &diags}
+		pass := &Pass{Analyzer: a, Fset: mod.Fset, Pkg: pkg, Mod: mod, diags: &diags}
 		a.Run(pass)
 		tm.addAnalyzer(a.Name, time.Since(start))
 	}

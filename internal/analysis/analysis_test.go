@@ -29,6 +29,9 @@ var fixtureCases = []struct {
 	{PoolCheck, "poolcheck"},
 	{NoAlloc, "noalloc"},
 	{ObsGuard, "obsguard"},
+	{CtxFlow, "ctxflow"},
+	{LockCheck, "lockcheck"},
+	{NonBlock, "nonblock"},
 }
 
 var wantRe = regexp.MustCompile(`// want "([^"]*)"`)

@@ -16,9 +16,13 @@ import (
 )
 
 // CacheVersion is folded into every package cache key; bump it whenever
-// the Diagnostic encoding or analyzer semantics change in a way old
-// entries cannot represent.
-const CacheVersion = "cardopc-vet-cache-v2"
+// the Diagnostic encoding, the FuncSummary schema or analyzer semantics
+// change in a way old entries cannot represent. v3 added interprocedural
+// function summaries to the entry — the version string stands in for the
+// summary schema, so a schema change invalidates every entry, and the
+// recursive dep-key folding below re-summarises dependents whenever a
+// callee package's sources change.
+const CacheVersion = "cardopc-vet-cache-v3"
 
 // DefaultCacheDirName is the cache directory cardopc-vet -incremental
 // uses under the module root when -cache-dir is not given.
@@ -170,13 +174,21 @@ func computeKeys(pkgs []*scannedPackage, analyzers []*Analyzer) error {
 }
 
 // cacheEntry is one package's persisted result: the key it was computed
-// under and its diagnostics (after inline //cardopc:allow filtering,
+// under, its diagnostics (after inline //cardopc:allow filtering,
 // before allowlist-file filtering — so stale-entry detection still sees
-// suppressed findings on warm runs). Diagnostic filenames are stored
-// root-relative so the cache survives a checkout move.
+// suppressed findings on warm runs) and the interprocedural summaries
+// of its functions. Diagnostic filenames are stored root-relative so
+// the cache survives a checkout move.
+//
+// The summaries are not re-read to skip analysis — a miss reloads its
+// import closure and recomputes them from source, which is what makes
+// cold and warm diagnostics byte-identical — but persisting them pins
+// the schema to the cache key and makes every run's interprocedural
+// state inspectable on disk.
 type cacheEntry struct {
-	Key   string       `json:"key"`
-	Diags []Diagnostic `json:"diags"`
+	Key       string                 `json:"key"`
+	Diags     []Diagnostic           `json:"diags"`
+	Summaries map[string]FuncSummary `json:"summaries,omitempty"`
 }
 
 // cacheFileName flattens a package's rel path into one file name.
@@ -317,7 +329,11 @@ func RunIncremental(root, cacheDir string, analyzers []*Analyzer, tm *Timings) (
 				continue // dependency loaded only for type-checking
 			}
 			diags := RunPackage(mod, pkg, analyzers, tm)
-			ent := &cacheEntry{Key: byRel[rel].key, Diags: rebasedDiags(root, diags, false)}
+			ent := &cacheEntry{
+				Key:       byRel[rel].key,
+				Diags:     rebasedDiags(root, diags, false),
+				Summaries: mod.Interproc().PackageSummaries(pkg),
+			}
 			if err := writeCacheEntry(cacheDir, rel, ent); err != nil {
 				return nil, err
 			}

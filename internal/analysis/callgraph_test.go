@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// loadTestPkg writes src as a one-file package and loads it the way the
+// fixture harness does.
+func loadTestPkg(t *testing.T, pkgPath, src string) *Module {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("test package does not type-check: %v", terr)
+		}
+	}
+	return mod
+}
+
+// nodeByName indexes the graph by function name; the test sources keep
+// names unique so methods need no receiver qualification.
+func nodeByName(t *testing.T, cg *CallGraph) map[string]*FuncNode {
+	t.Helper()
+	out := map[string]*FuncNode{}
+	for _, n := range cg.Funcs {
+		if _, dup := out[n.Obj.Name()]; dup {
+			t.Fatalf("test source has duplicate function name %s", n.Obj.Name())
+		}
+		out[n.Obj.Name()] = n
+	}
+	return out
+}
+
+func TestCallGraphSCCOrder(t *testing.T) {
+	mod := loadTestPkg(t, "fixture/scc", `package fixture
+
+func Leaf() int { return 1 }
+
+func Mid() int { return Leaf() }
+
+func Top() int { return Mid() }
+
+func Ping(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Pong(n - 1)
+}
+
+func Pong(n int) int { return Ping(n - 1) }
+`)
+	cg := mod.Interproc().Graph
+	nodes := nodeByName(t, cg)
+
+	sccOf := map[*FuncNode]int{}
+	for i, scc := range cg.SCCs {
+		for _, n := range scc {
+			sccOf[n] = i
+		}
+	}
+
+	// Bottom-up: every callee's component precedes its caller's.
+	if !(sccOf[nodes["Leaf"]] < sccOf[nodes["Mid"]] && sccOf[nodes["Mid"]] < sccOf[nodes["Top"]]) {
+		t.Errorf("SCCs not callees-first: Leaf=%d Mid=%d Top=%d",
+			sccOf[nodes["Leaf"]], sccOf[nodes["Mid"]], sccOf[nodes["Top"]])
+	}
+	// Mutual recursion collapses into one component.
+	if sccOf[nodes["Ping"]] != sccOf[nodes["Pong"]] {
+		t.Errorf("Ping (scc %d) and Pong (scc %d) should share a component",
+			sccOf[nodes["Ping"]], sccOf[nodes["Pong"]])
+	}
+	if got := len(cg.SCCs[sccOf[nodes["Ping"]]]); got != 2 {
+		t.Errorf("recursive component size = %d, want 2", got)
+	}
+	// Direct edge sanity: Top calls Mid, Mid calls Leaf.
+	if got := nodes["Top"].Callees; len(got) != 1 || got[0] != nodes["Mid"] {
+		t.Errorf("Top callees = %v", got)
+	}
+}
+
+func TestSummaryFixpoint(t *testing.T) {
+	mod := loadTestPkg(t, "fixture/summary", `package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+type Grid struct{}
+
+func GetGrid(h, w int) *Grid { return &Grid{} }
+
+func PutGrid(g *Grid) {}
+
+func recv(ch chan int) int { return <-ch }
+
+func viaRecv(ch chan int) int { return recv(ch) }
+
+func checks(ctx context.Context) error { return ctx.Err() }
+
+func forwards(ctx context.Context) error { return checks(ctx) }
+
+func pump(ch chan int) {
+	for {
+		recv(ch)
+	}
+}
+
+func even(ch chan int, n int) int {
+	if n == 0 {
+		return recv(ch)
+	}
+	return odd(ch, n-1)
+}
+
+func odd(ch chan int, n int) int { return even(ch, n-1) }
+
+func provide(n int) *Grid {
+	g := GetGrid(n, n)
+	return g
+}
+
+func relay(n int) *Grid { return provide(n) }
+
+func releases(g *Grid) { PutGrid(g) }
+
+func releasesVia(x int, g *Grid) { releases(g) }
+
+var sink *Grid
+
+func escapes(g *Grid) { sink = g }
+
+type store struct {
+	mu    sync.Mutex
+	grids []*Grid
+}
+
+func (s *store) lockIt() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func (s *store) lockVia() { s.lockIt() }
+
+func (s *store) Release() {
+	for _, g := range s.grids {
+		PutGrid(g)
+	}
+}
+
+var globalMu sync.Mutex
+
+func lockGlobal() {
+	globalMu.Lock()
+	globalMu.Unlock()
+}
+`)
+	ip := mod.Interproc()
+	nodes := nodeByName(t, ip.Graph)
+	sum := func(name string) *FuncSummary {
+		s := ip.SummaryOf(nodes[name].Obj)
+		if s == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		return s
+	}
+
+	if !sum("recv").Blocks {
+		t.Error("recv should block (channel receive)")
+	}
+	if !sum("viaRecv").Blocks {
+		t.Error("viaRecv should block through its callee")
+	}
+	if s := sum("checks"); !s.HasCtxParam || !s.ChecksCtx {
+		t.Errorf("checks summary = %+v, want ctx param + checks", s)
+	}
+	if !sum("forwards").ChecksCtx {
+		t.Error("forwards should check ctx through its callee")
+	}
+	if s := sum("pump"); !s.Blocks || !s.BlockingLoop {
+		t.Errorf("pump summary = %+v, want blocking loop", s)
+	}
+	// Mutual recursion: the blocking base case must reach both members
+	// of the component through the fixpoint.
+	if !sum("even").Blocks || !sum("odd").Blocks {
+		t.Errorf("even/odd recursion: Blocks = %v/%v, want true/true",
+			sum("even").Blocks, sum("odd").Blocks)
+	}
+	if got := sum("provide").PooledResults; !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("provide.PooledResults = %v, want [0]", got)
+	}
+	if got := sum("relay").PooledResults; !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("relay.PooledResults = %v, want [0] (return provide(n))", got)
+	}
+	if got := sum("releases").ReleasesParams; !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("releases.ReleasesParams = %v, want [0]", got)
+	}
+	if got := sum("releasesVia").ReleasesParams; !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("releasesVia.ReleasesParams = %v, want [1] (forwarded)", got)
+	}
+	if got := sum("escapes").EscapesParams; !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("escapes.EscapesParams = %v, want [0] (stored to global)", got)
+	}
+	if got := sum("lockIt").LocksRecvFields; !reflect.DeepEqual(got, []string{"mu"}) {
+		t.Errorf("lockIt.LocksRecvFields = %v, want [mu]", got)
+	}
+	if got := sum("lockVia").LocksRecvFields; !reflect.DeepEqual(got, []string{"mu"}) {
+		t.Errorf("lockVia.LocksRecvFields = %v, want [mu] (same-receiver call)", got)
+	}
+	if !sum("Release").ReleasesRecvHeld {
+		t.Error("store.Release should have ReleasesRecvHeld")
+	}
+	if pkg := mod.Pkgs[0]; !ip.TypeReleasesHeld(pkg.Types.Scope().Lookup("store").Type()) {
+		t.Error("TypeReleasesHeld(store) = false, want true")
+	}
+	if got := sum("lockGlobal").LocksGlobals; !reflect.DeepEqual(got, []string{"fixture/summary.globalMu"}) {
+		t.Errorf("lockGlobal.LocksGlobals = %v, want [fixture/summary.globalMu]", got)
+	}
+}
+
+// writePoolModule lays out a two-package module exercising the
+// interprocedural poolcheck across a package boundary: a's Acquire is
+// pool-returning, b both wastes and correctly releases it.
+func writePoolModule(t testing.TB, dir string) {
+	t.Helper()
+	files := map[string]string{
+		"go.mod": "module poolmod\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+type Grid struct{ n int }
+
+func GetGrid(h, w int) *Grid { return &Grid{n: h * w} }
+
+func PutGrid(g *Grid) {}
+
+func Acquire(n int) *Grid {
+	g := GetGrid(n, n)
+	return g
+}
+
+func Drop(n int) {
+	GetGrid(n, n)
+}
+`,
+		"b/b.go": `package b
+
+import "poolmod/a"
+
+func Waste(n int) {
+	a.Acquire(n)
+}
+
+func Careful(n int) {
+	g := a.Acquire(n)
+	a.PutGrid(g)
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestInterprocColdWarmEquivalence pins the reproducibility contract of
+// the interprocedural layer under -incremental: after a leaf-package
+// edit, the mixed hit/miss run must produce byte-identical diagnostics
+// to a from-scratch cold run — including the cross-package finding that
+// depends on a callee summary recomputed from the miss closure.
+func TestInterprocColdWarmEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	writePoolModule(t, dir)
+	cacheDir := filepath.Join(dir, ".cardopc-vet-cache")
+	suite := []*Analyzer{PoolCheck}
+
+	cold, _ := runIncr(t, dir, cacheDir, suite)
+	if cold.Misses != 2 {
+		t.Fatalf("cold misses = %d, want 2", cold.Misses)
+	}
+	// One intraprocedural finding in a (Drop) and one summary-powered
+	// finding in b (Waste discards a.Acquire's pooled result).
+	byPkg := map[string]int{}
+	for _, d := range cold.Diags {
+		byPkg[filepath.Base(filepath.Dir(d.Pos.Filename))]++
+	}
+	if byPkg["a"] != 1 || byPkg["b"] != 1 {
+		t.Fatalf("cold diagnostics: %v", cold.Diags)
+	}
+
+	warm, _ := runIncr(t, dir, cacheDir, suite)
+	if warm.Hits != 2 || !reflect.DeepEqual(cold.Diags, warm.Diags) {
+		t.Fatalf("warm run diverges: hits=%d\n cold %v\n warm %v", warm.Hits, cold.Diags, warm.Diags)
+	}
+
+	// The v3 entry persists a's summaries, pinning the schema on disk.
+	ent, err := readCacheEntry(cacheDir, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acq, ok := ent.Summaries["poolmod/a.Acquire"]
+	if !ok || !reflect.DeepEqual(acq.PooledResults, []int{0}) {
+		t.Fatalf("persisted Acquire summary = %+v (present=%v), want PooledResults [0]", acq, ok)
+	}
+
+	// Edit the leaf: only b re-analyzes, but its summary-powered finding
+	// must come out byte-identical to a full cold run.
+	bPath := filepath.Join(dir, "b", "b.go")
+	data, err := os.ReadFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, append(data, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mixed, _ := runIncr(t, dir, cacheDir, suite)
+	if mixed.Hits != 1 || mixed.Misses != 1 {
+		t.Fatalf("after editing b: hits=%d misses=%d, want 1/1", mixed.Hits, mixed.Misses)
+	}
+	fresh, _ := runIncr(t, dir, filepath.Join(dir, ".cold-cache"), suite)
+
+	mixedJSON, err := json.Marshal(mixed.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshJSON, err := json.Marshal(fresh.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mixedJSON, freshJSON) {
+		t.Fatalf("mixed hit/miss diagnostics diverge from cold:\n mixed %s\n cold  %s", mixedJSON, freshJSON)
+	}
+}

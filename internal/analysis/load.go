@@ -48,6 +48,10 @@ type Module struct {
 	// Pkgs lists the module's packages in dependency (topological)
 	// order.
 	Pkgs []*Package
+
+	// interproc memoizes the call graph + function summaries; built
+	// lazily by Interproc on first use (single-goroutine driver).
+	interproc *Interproc
 }
 
 // LoadModule parses and type-checks every non-test package under the

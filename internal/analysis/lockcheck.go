@@ -1,0 +1,440 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockCheck enforces mutex discipline over the CFG, powered by the
+// interprocedural lock summaries: every sync.Mutex/RWMutex acquired on
+// a trackable path (`mu`, `j.mu`, `s.state.mu`) must be released on
+// every exit path — including early returns in manual per-branch
+// sequences like Job.Cancel — must not be re-acquired while held
+// (directly, or re-entrantly through a callee whose summary locks the
+// same receiver field), and must not be held across a blocking
+// operation (channel send/receive, blocking select, Wait, sleep, http
+// round-trip, or a call whose summary blocks).
+//
+// The analyzer mirrors poolcheck's two-pass shape: a may-analysis
+// fixpoint over the shared CFG, then a reporting walk with the
+// converged in-states. May-bits are the pragmatic choice: the false
+// positives they admit (correlated conditional lock/unlock pairs)
+// do not occur in idiomatic code, and the module's manual sequences
+// (Job.Cancel, queue.enqueue's RLock around a select-with-default)
+// stay clean without annotations.
+//
+// Deliberately out of scope: unlock-without-lock (helper-method
+// noise), lock hand-offs between functions (lock in one function,
+// unlock in another), and mutexes reached through computed expressions
+// (slice elements, map values). Hierarchical locking — taking b.mu
+// while a.mu is held — is not flagged: only *blocking* operations and
+// same-path re-acquisition are.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "mutexes must be released on every exit path, never re-acquired while held, never held across blocking calls",
+	Run:  runLockCheck,
+}
+
+const (
+	lockHeld      uint8 = 1 << iota // write lock held on some path
+	lockRHeld                       // read lock held on some path
+	lockDeferred                    // deferred Unlock covers every exit
+	lockRDeferred                   // deferred RUnlock covers every exit
+)
+
+// lockKey identifies one trackable mutex: the root identifier's object
+// plus the dotted field path to the mutex.
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+// name renders the key the way the source spells it ("j.mu", "planMu").
+func (k lockKey) name() string {
+	if k.path == "" {
+		return k.root.Name()
+	}
+	return k.root.Name() + "." + k.path
+}
+
+// qualified renders a package-level mutex as "pkgpath.name" — the form
+// FuncSummary.LocksGlobals uses.
+func (k lockKey) qualified() string {
+	if k.root.Pkg() == nil {
+		return k.name()
+	}
+	return k.root.Pkg().Path() + "." + k.name()
+}
+
+type lockFact struct {
+	bits uint8
+	pos  token.Pos // the acquiring Lock/RLock site
+}
+
+type lockState map[lockKey]lockFact
+
+func runLockCheck(pass *Pass) {
+	if pass.Mod == nil {
+		return
+	}
+	ip := pass.Mod.Interproc()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body // analyzed as its own function
+			default:
+				return true
+			}
+			if body != nil {
+				lc := &lockChecker{pass: pass, ip: ip, body: body, seen: map[string]bool{}}
+				lc.run()
+			}
+			return true
+		})
+	}
+}
+
+type lockChecker struct {
+	pass *Pass
+	ip   *Interproc
+	body *ast.BlockStmt
+	seen map[string]bool
+	// nonBlocking prunes comm statements of select-with-default: the
+	// send/receive inside `select { case ch <- v: ... default: }` is a
+	// poll, not a block (the queue.enqueue backpressure pattern).
+	nonBlocking map[ast.Node]bool
+	report      bool
+}
+
+func (lc *lockChecker) run() {
+	touches := false
+	ast.Inspect(lc.body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				touches = true
+			}
+		}
+		return !touches
+	})
+	if !touches {
+		return
+	}
+
+	lc.nonBlocking = map[ast.Node]bool{}
+	ast.Inspect(lc.body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					lc.nonBlocking[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+
+	cfg := BuildCFG(lc.body)
+	in := ForwardDataflow(cfg,
+		func() lockState { return lockState{} },
+		func(s lockState) lockState {
+			c := make(lockState, len(s))
+			for k, v := range s {
+				c[k] = v
+			}
+			return c
+		},
+		func(b *Block, s lockState) lockState {
+			lc.report = false
+			lc.block(b, s)
+			return s
+		},
+		func(into, from lockState) bool {
+			changed := false
+			for k, f := range from {
+				g, ok := into[k]
+				nb := g.bits | f.bits
+				if !ok || nb != g.bits {
+					pos := g.pos
+					if pos == token.NoPos {
+						pos = f.pos
+					}
+					into[k] = lockFact{bits: nb, pos: pos}
+					changed = true
+				}
+			}
+			return changed
+		},
+	)
+
+	lc.report = true
+	for _, b := range cfg.Blocks {
+		st, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		s := make(lockState, len(st))
+		for k, v := range st {
+			s[k] = v
+		}
+		lc.block(b, s)
+		if fallsToExit(b, cfg.Exit) {
+			lc.exitCheck(s)
+		}
+	}
+}
+
+func (lc *lockChecker) reportf(pos token.Pos, format string, args ...any) {
+	if !lc.report {
+		return
+	}
+	key := lc.pass.Fset.Position(pos).String() + format
+	if lc.seen[key] {
+		return
+	}
+	lc.seen[key] = true
+	lc.pass.Reportf(pos, format, args...)
+}
+
+func (lc *lockChecker) block(b *Block, st lockState) {
+	for _, n := range b.Nodes {
+		lc.node(n, st)
+	}
+}
+
+func (lc *lockChecker) node(n ast.Node, st lockState) {
+	info := lc.pass.Pkg.Info
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		lc.deferStmt(n, st)
+		return
+	case *ast.ReturnStmt:
+		lc.scanBlocking(n, st)
+		lc.exitCheck(st)
+		return
+	}
+
+	// Mutex operations, wherever the expression sits in the node.
+	handled := map[*ast.CallExpr]bool{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := classifyMutexOp(info, call); ok {
+			handled[call] = true
+			lc.mutexOp(call, op, st)
+		}
+		return true
+	})
+
+	// panic while holding a lock: unwinding leaves it locked unless a
+	// deferred unlock exists.
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				for k, f := range st {
+					if f.bits&lockHeld != 0 && f.bits&lockDeferred == 0 {
+						lc.reportf(call.Pos(), "%s still held at panic; only a deferred unlock survives unwinding", k.name())
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	lc.scanBlocking(n, st)
+	lc.reentrantCalls(n, handled, st)
+}
+
+func (lc *lockChecker) mutexOp(call *ast.CallExpr, op mutexOp, st lockState) {
+	key := lockKey{root: op.root, path: op.path}
+	f := st[key]
+	switch op.op {
+	case "lock":
+		if f.bits&(lockHeld|lockRHeld) != 0 {
+			lc.reportf(call.Pos(), "%s acquired again while already held (deadlock)", key.name())
+		}
+		f.bits |= lockHeld
+		f.pos = call.Pos()
+	case "unlock":
+		f.bits &^= lockHeld
+	case "rlock":
+		if f.bits&lockHeld != 0 {
+			lc.reportf(call.Pos(), "%s read-locked while write-held (deadlock)", key.name())
+		}
+		f.bits |= lockRHeld
+		if f.pos == token.NoPos {
+			f.pos = call.Pos()
+		}
+	case "runlock":
+		f.bits &^= lockRHeld
+	}
+	st[key] = f
+}
+
+// scanBlocking reports blocking operations executed while any tracked
+// mutex is held: primitive atoms and calls whose summaries block.
+func (lc *lockChecker) scanBlocking(n ast.Node, st lockState) {
+	held := heldKeys(st)
+	if len(held) == 0 {
+		return
+	}
+	info := lc.pass.Pkg.Info
+	goCalls := map[*ast.CallExpr]bool{}
+	syncInspect(n, func(m ast.Node) bool {
+		if lc.nonBlocking[m] {
+			return false // select-with-default comm: a poll
+		}
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			goCalls[m.Call] = true
+		case *ast.CallExpr:
+			if goCalls[m] {
+				return true
+			}
+			if _, isMutexOp := classifyMutexOp(info, m); isMutexOp {
+				return true // Lock contention is the re-acquisition rules' business
+			}
+			if desc, ok := blockingCall(info, m); ok {
+				lc.reportf(m.Pos(), "%s while %s is held", desc, held[0].name())
+				return true
+			}
+			for _, fn := range lc.ip.Graph.ResolveCallees(lc.pass.Pkg, m) {
+				if s := lc.ip.SummaryOf(fn); s != nil && s.Blocks {
+					lc.reportf(m.Pos(), "call to %s may block while %s is held", fn.Name(), held[0].name())
+					break
+				}
+			}
+			return true
+		}
+		if desc, ok := blockingAtom(info, m); ok {
+			if _, isCall := m.(*ast.CallExpr); !isCall {
+				lc.reportf(m.Pos(), "%s while %s is held", desc, held[0].name())
+			}
+		}
+		return true
+	})
+}
+
+// reentrantCalls flags calls to callees whose summaries acquire a
+// mutex this function already holds — self-deadlock through a helper
+// (j.statusNow() from a method that holds j.mu).
+func (lc *lockChecker) reentrantCalls(n ast.Node, handled map[*ast.CallExpr]bool, st lockState) {
+	if len(heldKeys(st)) == 0 {
+		return
+	}
+	info := lc.pass.Pkg.Info
+	goCalls := map[*ast.CallExpr]bool{}
+	syncInspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			goCalls[m.Call] = true
+		case *ast.CallExpr:
+			if goCalls[m] || handled[m] {
+				return true
+			}
+			for _, fn := range lc.ip.Graph.ResolveCallees(lc.pass.Pkg, m) {
+				s := lc.ip.SummaryOf(fn)
+				if s == nil {
+					continue
+				}
+				// Receiver-rooted locks: rebase the callee's fields onto
+				// the call-site receiver path.
+				if len(s.LocksRecvFields) > 0 {
+					if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
+						if root, prefix, ok := selectorPath(info, sel.X); ok {
+							for _, field := range s.LocksRecvFields {
+								path := field
+								if prefix != "" {
+									path = prefix + "." + field
+								}
+								key := lockKey{root: root, path: path}
+								if f, held := st[key]; held && f.bits&(lockHeld|lockRHeld) != 0 {
+									lc.reportf(m.Pos(), "call to %s acquires %s which is already held (self-deadlock)", fn.Name(), key.name())
+								}
+							}
+						}
+					}
+				}
+				for _, g := range s.LocksGlobals {
+					for k, f := range st {
+						if f.bits&(lockHeld|lockRHeld) != 0 && k.qualified() == g {
+							lc.reportf(m.Pos(), "call to %s acquires %s which is already held (self-deadlock)", fn.Name(), k.name())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (lc *lockChecker) deferStmt(d *ast.DeferStmt, st lockState) {
+	info := lc.pass.Pkg.Info
+	credit := func(call *ast.CallExpr) {
+		if op, ok := classifyMutexOp(info, call); ok {
+			key := lockKey{root: op.root, path: op.path}
+			f := st[key]
+			switch op.op {
+			case "unlock":
+				f.bits |= lockDeferred
+			case "runlock":
+				f.bits |= lockRDeferred
+			}
+			st[key] = f
+		}
+	}
+	credit(d.Call)
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				credit(call)
+			}
+			return true
+		})
+	}
+}
+
+// exitCheck fires at every function exit for mutexes still held
+// without a deferred release. The diagnostic lands on the acquire.
+func (lc *lockChecker) exitCheck(st lockState) {
+	for k, f := range st {
+		if f.bits&lockHeld != 0 && f.bits&lockDeferred == 0 {
+			lc.reportf(f.pos, "%s locked here is not unlocked on every exit path", k.name())
+		}
+		if f.bits&lockRHeld != 0 && f.bits&lockRDeferred == 0 {
+			lc.reportf(f.pos, "%s read-locked here is not read-unlocked on every exit path", k.name())
+		}
+	}
+}
+
+func heldKeys(st lockState) []lockKey {
+	var out []lockKey
+	for k, f := range st {
+		if f.bits&(lockHeld|lockRHeld) != 0 {
+			out = append(out, k)
+		}
+	}
+	// Deterministic diagnostic text when several are held.
+	sort.Slice(out, func(i, j int) bool { return out[i].name() < out[j].name() })
+	return out
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NonBlock audits functions annotated with a `//cardopc:nonblocking`
+// doc-comment directive: their synchronous call tree must never block
+// the calling goroutine. It is the annotation-driven face of the
+// interprocedural summaries — where ctxflow infers which entry points
+// need cancellation, nonblock lets latency-critical paths (job status
+// snapshots served under the daemon's request mutex, observability
+// counters on the correction hot loop) state a contract that the call
+// graph then enforces transitively.
+//
+// A violation is any blocking atom reachable synchronously from the
+// annotated body: a channel send/receive, a select without default,
+// ranging over a channel, sync.WaitGroup.Wait / Cond.Wait, time.Sleep,
+// an http round-trip, or a call to a module function whose summary
+// blocks. Work spawned with `go` is exempt — it does not block the
+// caller. The usual unknown-callee caveat applies: calls the graph
+// cannot resolve (interfaces outside the import closure, func values,
+// non-module functions) are assumed non-blocking, so the analyzer can
+// miss violations but never invents one.
+var NonBlock = &Analyzer{
+	Name: "nonblock",
+	Doc:  "functions annotated //cardopc:nonblocking must not block, transitively through the call graph",
+	Run:  runNonBlock,
+}
+
+// nonblockDirective marks a function whose synchronous call tree must
+// not block.
+const nonblockDirective = "//cardopc:nonblocking"
+
+func runNonBlock(pass *Pass) {
+	if pass.Mod == nil {
+		return
+	}
+	ip := pass.Mod.Interproc()
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasNonblockDirective(fn.Doc) {
+				continue
+			}
+			checkNonBlock(pass, ip, fn)
+		}
+	}
+}
+
+func hasNonblockDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), nonblockDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNonBlock reports every blocking site in fn's synchronous body:
+// primitive atoms at their own position, blocking callees at the call.
+func checkNonBlock(pass *Pass, ip *Interproc, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	goCalls := map[*ast.CallExpr]bool{}
+	// The comm statements of a select with a default case are polls, not
+	// blocks; prune them so the send/receive inside stays unreported.
+	nonBlocking := map[ast.Node]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					nonBlocking[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	syncInspect(fn.Body, func(n ast.Node) bool {
+		if nonBlocking[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			goCalls[n.Call] = true
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pass.Reportf(n.Pos(), "range over channel in a //cardopc:nonblocking function")
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if goCalls[n] {
+				return true
+			}
+			if desc, ok := blockingCall(info, n); ok {
+				pass.Reportf(n.Pos(), "%s in a //cardopc:nonblocking function", desc)
+				return true
+			}
+			for _, callee := range ip.Graph.ResolveCallees(pass.Pkg, n) {
+				if s := ip.SummaryOf(callee); s != nil && s.Blocks {
+					pass.Reportf(n.Pos(), "call to %s may block in a //cardopc:nonblocking function", callee.Name())
+					break
+				}
+			}
+			return true
+		}
+		if desc, ok := blockingAtom(info, n); ok {
+			pass.Reportf(n.Pos(), "%s in a //cardopc:nonblocking function", desc)
+		}
+		return true
+	})
+}

@@ -21,17 +21,33 @@ import (
 // x.Release() releases — so fixtures and future pools are covered
 // without hard-coding package paths.
 //
+// Since the interprocedural layer (callgraph.go, summary.go) the
+// analyzer also sees through calls: a function returning a live pooled
+// value becomes pool-returning (summary PooledResults) and its callers
+// inherit the release obligation at the call site; passing a tracked
+// value to a callee whose summary releases that parameter position
+// counts as the release; passing it to one that retains it is an
+// escape.
+//
 // Ownership-transfer conventions the analyzer blesses silently:
 //   - `slice[i] = x` hands the value to the slice owner (the litho
 //     worker pattern: wss[w] = ws inside a goroutine, drained and
 //     released by the launcher after wg.Wait).
 //   - `defer PutGrid(x)` / `defer x.Release()` (directly or inside a
 //     deferred closure) satisfies the release obligation on every path.
+//   - `return x` while x is live: the function becomes pool-returning
+//     and every caller is checked instead.
+//   - a store into a field/element reachable from a value whose type
+//     has a receiver-releasing method (summary ReleasesRecvHeld — the
+//     ForwardCache shape): the owner's Release discharges it.
+//   - a goroutine capture fenced by a later sync.WaitGroup.Wait on
+//     every path: the borrow provably ends inside the function.
 //
 // Everything else that moves a pooled value out of the function —
-// return, struct-field store, goroutine capture, storing the acquire
-// result anywhere but a fresh local — is reported; intentional
-// hand-offs carry a //cardopc:allow poolcheck with the contract.
+// composite-value return, struct-field store into a non-owner,
+// unfenced goroutine capture, storing the acquire result anywhere but
+// a fresh local — is reported; the rare intentional hand-off outside
+// these contracts carries a //cardopc:allow poolcheck.
 var PoolCheck = &Analyzer{
 	Name: "poolcheck",
 	Doc:  "track pooled fft buffers through branches; flag leaks, double releases, use-after-release and escapes",
@@ -51,18 +67,25 @@ const (
 	poolReleased                   // released on some path
 	poolEscaped                    // ownership handed off (return/store/goroutine)
 	poolDeferred                   // release deferred; fires on every exit
+	poolFenced                     // borrowed by a goroutine; pending a WaitGroup.Wait fence
 )
 
 // poolFact is the per-variable dataflow fact: the may-bits plus the
-// acquire site, so leak diagnostics land on the acquire.
+// acquire site, so leak diagnostics land on the acquire, and the
+// goroutine-capture site for unfenced-borrow diagnostics.
 type poolFact struct {
 	bits uint8
 	pos  token.Pos
+	cpos token.Pos
 }
 
 type poolState map[types.Object]poolFact
 
 func runPoolCheck(pass *Pass) {
+	var ip *Interproc
+	if pass.Mod != nil {
+		ip = pass.Mod.Interproc()
+	}
 	for _, file := range pass.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			var body *ast.BlockStmt
@@ -75,7 +98,7 @@ func runPoolCheck(pass *Pass) {
 				return true
 			}
 			if body != nil {
-				pc := &poolChecker{pass: pass, body: body, seen: map[string]bool{}}
+				pc := &poolChecker{pass: pass, ip: ip, body: body, seen: map[string]bool{}}
 				pc.run()
 			}
 			return true
@@ -85,11 +108,29 @@ func runPoolCheck(pass *Pass) {
 
 type poolChecker struct {
 	pass *Pass
+	ip   *Interproc
 	body *ast.BlockStmt
 	// seen dedupes diagnostics: leak reports land on the acquire
 	// position, which several exit paths can reach.
 	seen   map[string]bool
 	report bool
+	// fenceDeferred records a `defer wg.Wait()` (directly or inside a
+	// deferred closure): the barrier runs on every exit, so goroutine
+	// borrows are fenced even though no inline Wait appears.
+	fenceDeferred bool
+}
+
+// pooledIndices returns the result indices of call carrying a release
+// obligation: intrinsic acquires by name, plus pool-returning module
+// callees by summary.
+func (pc *poolChecker) pooledIndices(call *ast.CallExpr) []int {
+	if pc.ip != nil {
+		return pc.ip.PooledIndices(pc.pass.Pkg, call)
+	}
+	if isPoolAcquire(call) {
+		return []int{0}
+	}
+	return nil
 }
 
 func (pc *poolChecker) run() {
@@ -98,7 +139,7 @@ func (pc *poolChecker) run() {
 	touches := false
 	ast.Inspect(pc.body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
-			if name, ok := calleeName(call); ok && poolAcquireNames[name] {
+			if len(pc.pooledIndices(call)) > 0 {
 				touches = true
 			}
 		}
@@ -133,7 +174,11 @@ func (pc *poolChecker) run() {
 					if pos == token.NoPos {
 						pos = f.pos
 					}
-					into[k] = poolFact{bits: nb, pos: pos}
+					cpos := g.cpos
+					if cpos == token.NoPos {
+						cpos = f.cpos
+					}
+					into[k] = poolFact{bits: nb, pos: pos, cpos: cpos}
 					changed = true
 				}
 			}
@@ -235,6 +280,30 @@ func (pc *poolChecker) node(n ast.Node, st poolState) {
 // stores may transfer or escape ownership, everything else is a use.
 func (pc *poolChecker) assign(as *ast.AssignStmt, st poolState) {
 	if len(as.Lhs) != len(as.Rhs) {
+		// Multi-value bind from one call: g, err := f(). Pooled result
+		// indices (per the callee summary) bind obligations to their
+		// left-hand identifiers exactly like a direct acquire.
+		if len(as.Rhs) == 1 {
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+				if idx := pc.pooledIndices(call); len(idx) > 0 {
+					name, _ := calleeName(call)
+					for _, a := range call.Args {
+						pc.expr(a, st, false)
+					}
+					pooledAt := map[int]bool{}
+					for _, i := range idx {
+						pooledAt[i] = true
+					}
+					for i, l := range as.Lhs {
+						if !pooledAt[i] {
+							continue
+						}
+						pc.bindAcquire(l, call, name, st)
+					}
+					return
+				}
+			}
+		}
 		for _, r := range as.Rhs {
 			pc.expr(r, st, false)
 		}
@@ -250,31 +319,57 @@ func (pc *poolChecker) assign(as *ast.AssignStmt, st poolState) {
 	}
 }
 
+// bindAcquire binds one pooled result of call to lhs: a fresh local
+// starts tracking, a blank or non-local destination is reported.
+func (pc *poolChecker) bindAcquire(lhs ast.Expr, call *ast.CallExpr, name string, st poolState) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			pc.reportf(call.Pos(), "result of %s discarded; the pooled value can never be released", name)
+			return
+		}
+		obj := pc.pass.ObjectOf(l)
+		if obj == nil {
+			return
+		}
+		if f, ok := st[obj]; ok && f.bits&poolLive != 0 {
+			pc.reportf(call.Pos(), "%s overwrites %s while it still holds a live pooled value; release it first", name, l.Name)
+		}
+		st[obj] = poolFact{bits: poolLive, pos: call.Pos()}
+	default:
+		if pc.ownedStore(lhs) {
+			// The destination's type has a receiver-releasing method
+			// (ForwardCache.Release); the owner discharges the obligation.
+			pc.uses(lhs, st)
+			return
+		}
+		pc.reportf(call.Pos(), "result of %s stored directly into a non-local; bind it to a local so its release can be tracked", name)
+		pc.uses(lhs, st)
+	}
+}
+
+// ownedStore reports whether lhs stores into a field/element reachable
+// from a value whose type releases its held pooled values (summary
+// ReleasesRecvHeld) — a legitimate ownership transfer to that owner.
+func (pc *poolChecker) ownedStore(lhs ast.Expr) bool {
+	if pc.ip == nil {
+		return false
+	}
+	root := exprRootObj(pc.pass.Pkg.Info, lhs)
+	if root == nil {
+		return false
+	}
+	return pc.ip.TypeReleasesHeld(root.Type())
+}
+
 func (pc *poolChecker) assignOne(lhs, rhs ast.Expr, st poolState) {
 	rhs = ast.Unparen(rhs)
-	if call, ok := rhs.(*ast.CallExpr); ok && isPoolAcquire(call) {
+	if call, ok := rhs.(*ast.CallExpr); ok && len(pc.pooledIndices(call)) > 0 {
 		name, _ := calleeName(call)
 		for _, a := range call.Args {
 			pc.expr(a, st, false)
 		}
-		switch l := ast.Unparen(lhs).(type) {
-		case *ast.Ident:
-			if l.Name == "_" {
-				pc.reportf(call.Pos(), "result of %s discarded; the pooled value can never be released", name)
-				return
-			}
-			obj := pc.pass.ObjectOf(l)
-			if obj == nil {
-				return
-			}
-			if f, ok := st[obj]; ok && f.bits&poolLive != 0 {
-				pc.reportf(call.Pos(), "%s overwrites %s while it still holds a live pooled value; release it first", name, l.Name)
-			}
-			st[obj] = poolFact{bits: poolLive, pos: call.Pos()}
-		default:
-			pc.reportf(call.Pos(), "result of %s stored directly into a non-local; bind it to a local so its release can be tracked", name)
-			pc.uses(lhs, st)
-		}
+		pc.bindAcquire(lhs, call, name, st)
 		return
 	}
 	if lit, ok := rhs.(*ast.FuncLit); ok {
@@ -288,7 +383,9 @@ func (pc *poolChecker) assignOne(lhs, rhs ast.Expr, st poolState) {
 				pc.checkUse(id, f)
 				switch l := ast.Unparen(lhs).(type) {
 				case *ast.SelectorExpr:
-					pc.reportf(rhs.Pos(), "pooled value %s escapes into field %s; the release obligation is no longer local", id.Name, l.Sel.Name)
+					if !pc.ownedStore(l) {
+						pc.reportf(rhs.Pos(), "pooled value %s escapes into field %s; the release obligation is no longer local", id.Name, l.Sel.Name)
+					}
 					f.bits |= poolEscaped
 					st[obj] = f
 					pc.uses(l.X, st)
@@ -320,7 +417,7 @@ func (pc *poolChecker) expr(e ast.Expr, st poolState, stmtCtx bool) {
 		pc.uses(e, st)
 		return
 	}
-	if isPoolAcquire(call) {
+	if len(pc.pooledIndices(call)) > 0 {
 		name, _ := calleeName(call)
 		if stmtCtx {
 			pc.reportf(call.Pos(), "result of %s discarded; the pooled value can never be released", name)
@@ -340,21 +437,113 @@ func (pc *poolChecker) expr(e ast.Expr, st poolState, stmtCtx bool) {
 			if f.bits&poolReleased != 0 && f.bits&poolLive == 0 {
 				pc.reportf(call.Pos(), "pooled value %s released twice", releaseArgName(call))
 			}
+			if f.bits&poolFenced != 0 {
+				pc.reportf(call.Pos(), "pooled value %s released while a goroutine may still use it; fence with WaitGroup.Wait first", releaseArgName(call))
+			}
 			f.bits = (f.bits &^ poolLive) | poolReleased
 			st[obj] = f
 		}
 		return
 	}
-	// Ordinary call: arguments are borrows. Synchronous closures
-	// (parallelRows, sort.Slice) may use tracked values but do not take
-	// ownership; releases stay with the caller.
+	if isWaitGroupWait(pc.pass.Pkg.Info, call) {
+		// The barrier every fenced goroutine borrow was waiting for: the
+		// spawned workers have finished, borrows are over.
+		clearFences(st)
+		return
+	}
+	// Ordinary call: arguments are borrows unless the callee's summary
+	// says otherwise. Synchronous closures (parallelRows, sort.Slice)
+	// may use tracked values but do not take ownership; releases stay
+	// with the caller.
 	pc.uses(call.Fun, st)
-	for _, a := range call.Args {
+	for ai, a := range call.Args {
 		if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
 			pc.borrowUses(lit, st)
 			continue
 		}
+		if pc.summaryArg(call, ai, a, st) {
+			continue // the callee consumed the value; not an ordinary use
+		}
 		pc.expr(a, st, false)
+	}
+}
+
+// summaryArg folds the resolved callees' summaries over one tracked
+// argument: a callee that releases the parameter position discharges
+// the obligation; one that retains it is an escape. It reports whether
+// the callee consumed the value, so the caller skips the ordinary
+// use-after-release check for that argument.
+func (pc *poolChecker) summaryArg(call *ast.CallExpr, ai int, a ast.Expr, st poolState) bool {
+	if pc.ip == nil {
+		return false
+	}
+	id, ok := ast.Unparen(a).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pc.pass.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	f, tracked := st[obj]
+	if !tracked {
+		return false
+	}
+	consumed := false
+	for _, fn := range pc.ip.Graph.ResolveCallees(pc.pass.Pkg, call) {
+		s := pc.ip.SummaryOf(fn)
+		if s == nil {
+			continue
+		}
+		for _, rp := range s.ReleasesParams {
+			if rp != ai {
+				continue
+			}
+			if f.bits&poolReleased != 0 && f.bits&poolLive == 0 {
+				pc.reportf(call.Pos(), "pooled value %s released twice", id.Name)
+			}
+			if f.bits&poolFenced != 0 {
+				pc.reportf(call.Pos(), "pooled value %s released while a goroutine may still use it; fence with WaitGroup.Wait first", id.Name)
+			}
+			f.bits = (f.bits &^ poolLive) | poolReleased
+			st[obj] = f
+			consumed = true
+		}
+		for _, ep := range s.EscapesParams {
+			if ep != ai {
+				continue
+			}
+			pc.reportf(id.Pos(), "pooled value %s passed to %s, which retains it; the release obligation is no longer local", id.Name, fn.Name())
+			f.bits |= poolEscaped
+			st[obj] = f
+			consumed = true
+		}
+	}
+	return consumed
+}
+
+// isWaitGroupWait recognises wg.Wait() on a sync.WaitGroup.
+func isWaitGroupWait(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" || len(call.Args) != 0 {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && recvTypeName(s.Recv()) == "WaitGroup"
+}
+
+// clearFences ends every pending goroutine borrow at a WaitGroup
+// barrier.
+func clearFences(st poolState) {
+	for obj, f := range st {
+		if f.bits&poolFenced != 0 {
+			f.bits &^= poolFenced
+			st[obj] = f
+		}
 	}
 }
 
@@ -418,6 +607,10 @@ func (pc *poolChecker) deferStmt(d *ast.DeferStmt, st poolState) {
 		}
 		return
 	}
+	if isWaitGroupWait(pc.pass.Pkg.Info, d.Call) {
+		pc.fenceDeferred = true
+		return
+	}
 	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
 		// defer func() { ... PutGrid(x) ... }(): scan for releases of
 		// tracked outer locals; other uses inside are borrows.
@@ -433,6 +626,9 @@ func (pc *poolChecker) deferStmt(d *ast.DeferStmt, st poolState) {
 					st[obj] = f
 				}
 			}
+			if isWaitGroupWait(pc.pass.Pkg.Info, call) {
+				pc.fenceDeferred = true
+			}
 			return true
 		})
 		return
@@ -440,24 +636,29 @@ func (pc *poolChecker) deferStmt(d *ast.DeferStmt, st poolState) {
 	pc.uses(d.Call, st)
 }
 
-// goStmt flags tracked values crossing into a goroutine: the pool
-// discipline is single-owner, and a concurrent borrower outliving the
-// release is exactly the bug class poolcheck exists for.
+// goStmt marks tracked values crossing into a goroutine as pending a
+// fence: a later sync.WaitGroup.Wait on the same path provably ends
+// the borrow (the litho convolution fan-out), and a capture that never
+// reaches a barrier is reported at exit — the pool discipline is
+// single-owner, and a concurrent borrower outliving the release is
+// exactly the bug class poolcheck exists for.
 func (pc *poolChecker) goStmt(g *ast.GoStmt, st poolState) {
-	reported := map[types.Object]bool{}
+	marked := map[types.Object]bool{}
 	ast.Inspect(g.Call, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
 		if !ok {
 			return true
 		}
 		obj := pc.pass.ObjectOf(id)
-		if obj == nil || reported[obj] {
+		if obj == nil || marked[obj] {
 			return true
 		}
 		if f, ok := st[obj]; ok {
-			reported[obj] = true
-			pc.reportf(id.Pos(), "pooled value %s captured by goroutine; its lifetime is no longer bounded by this function", id.Name)
-			f.bits |= poolEscaped
+			marked[obj] = true
+			f.bits |= poolFenced
+			if f.cpos == token.NoPos {
+				f.cpos = id.Pos()
+			}
 			st[obj] = f
 		}
 		return true
@@ -466,6 +667,23 @@ func (pc *poolChecker) goStmt(g *ast.GoStmt, st poolState) {
 
 func (pc *poolChecker) returnStmt(r *ast.ReturnStmt, st poolState) {
 	for _, res := range r.Results {
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+			if obj := pc.pass.ObjectOf(id); obj != nil {
+				if f, tracked := st[obj]; tracked {
+					if f.bits&poolLive != 0 {
+						// Returning the live value directly makes this
+						// function pool-returning: the summary records the
+						// result index and every caller inherits the
+						// obligation at its call site.
+						f.bits |= poolEscaped
+						st[obj] = f
+					} else {
+						pc.checkUse(id, f)
+					}
+					continue
+				}
+			}
+		}
 		ast.Inspect(res, func(n ast.Node) bool {
 			id, ok := n.(*ast.Ident)
 			if !ok {
@@ -474,7 +692,7 @@ func (pc *poolChecker) returnStmt(r *ast.ReturnStmt, st poolState) {
 			if obj := pc.pass.ObjectOf(id); obj != nil {
 				if f, ok := st[obj]; ok {
 					if f.bits&poolLive != 0 {
-						pc.reportf(id.Pos(), "pooled value %s returned; ownership moves to the caller", id.Name)
+						pc.reportf(id.Pos(), "pooled value %s escapes through a composite return value; return it directly so callers inherit the obligation", id.Name)
 						f.bits |= poolEscaped
 						st[obj] = f
 					} else {
@@ -489,9 +707,14 @@ func (pc *poolChecker) returnStmt(r *ast.ReturnStmt, st poolState) {
 }
 
 // leakCheck fires at an exit path for every value still carrying an
-// unsatisfied release obligation. The diagnostic lands on the acquire.
+// unsatisfied release obligation or an unfenced goroutine borrow. Leak
+// diagnostics land on the acquire, fence diagnostics on the capture.
 func (pc *poolChecker) leakCheck(st poolState) {
 	for obj, f := range st {
+		if f.bits&poolFenced != 0 && f.bits&poolEscaped == 0 && !pc.fenceDeferred {
+			pc.reportf(f.cpos, "pooled value %s captured by goroutine; its lifetime is no longer bounded by this function", obj.Name())
+			continue // the capture is the finding; a leak report would be noise
+		}
 		if f.bits&poolLive != 0 && f.bits&(poolDeferred|poolEscaped) == 0 {
 			pc.reportf(f.pos, "pooled value %s acquired here is not released on every exit path", obj.Name())
 		}

@@ -1,0 +1,75 @@
+// Known-bad fixture for the ctxflow analyzer: every way a function can
+// promise cancellation and then ignore it — an unused context
+// parameter, blocking loops that never consult any context, invented
+// root contexts in library code, and exported long-runner entry points
+// with no context at all.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func unusedCtx(ctx context.Context, n int) int { // want "context parameter ctx is never used"
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func pollLoop(ctx context.Context, ticks <-chan int) error {
+	for t := range ticks { // want "never consults a context"
+		_ = t
+	}
+	return ctx.Err()
+}
+
+func retryLoop(ctx context.Context, attempts int) error {
+	for i := 0; i < attempts; i++ { // want "never consults a context"
+		time.Sleep(time.Millisecond)
+	}
+	return ctx.Err()
+}
+
+// waitOne blocks per call; its summary makes relayLoop's loop blocking
+// even though no blocking atom is syntactically inside it.
+func waitOne(ch chan int) int { return <-ch }
+
+func relayLoop(ctx context.Context, ch chan int) int {
+	total := 0
+	for i := 0; i < 4; i++ { // want "never consults a context"
+		total += waitOne(ch)
+	}
+	_ = ctx
+	return total
+}
+
+func fetchStale(n int) int {
+	ctx := context.Background() // want "accept a context.Context from the caller"
+	_ = ctx
+	return n
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func todoRoot() error {
+	return work(context.TODO()) // want "accept a context.Context from the caller"
+}
+
+// Pump.Run is the internal/ilt Solver.Run shape: an exported
+// long-runner verb whose call tree blocks, with no context parameter
+// and no RunContext sibling.
+type Pump struct{ ch chan int }
+
+func (p *Pump) Run() int { // want "add a RunContext variant"
+	total := 0
+	for v := range p.ch {
+		total += v
+	}
+	return total
+}
+
+func Solve(ch chan float64) float64 { // want "add a SolveContext variant"
+	return <-ch
+}

@@ -1,0 +1,84 @@
+// Known-good fixture for the ctxflow analyzer: the disciplined
+// cancellation shapes — consulting loops, forwarded contexts, the
+// Run/RunContext compat pair, and deliberate job roots — none of which
+// may be flagged.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func drainCtx(ctx context.Context, ticks <-chan int) int {
+	total := 0
+	for t := range ticks {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += t
+	}
+	return total
+}
+
+// step consults its context, so relayCtx's loop below is covered by
+// forwarding — the summary carries ChecksCtx through the call.
+func step(ctx context.Context, ch chan int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	<-ch
+	return nil
+}
+
+func relayCtx(ctx context.Context, ch chan int) error {
+	for i := 0; i < 4; i++ {
+		if err := step(ctx, ch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Engine is the Run/RunContext compat pair: Run's Background root is
+// blessed by the sibling, and the sibling consults its context.
+type Engine struct{ ch chan int }
+
+func (e *Engine) Run() int { return e.RunContext(context.Background()) }
+
+func (e *Engine) RunContext(ctx context.Context) int {
+	total := 0
+	for {
+		select {
+		case v := <-e.ch:
+			total += v
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
+// timedJob derives a deliberate job root: Background feeding
+// WithTimeout is the server.execute shape and is not second-guessed.
+func timedJob(d time.Duration, ch chan int) int {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// RunLength is an exported verb that never blocks: no context needed.
+func RunLength(xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+
+// waitQuiet blocks but is unexported; entry-point rule 4 only audits
+// the exported surface.
+func waitQuiet(ch chan struct{}) { <-ch }

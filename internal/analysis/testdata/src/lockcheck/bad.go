@@ -1,0 +1,118 @@
+// Known-bad fixture for the lockcheck analyzer: locks that miss an
+// exit path, same-path re-acquisition (directly and through a callee
+// summary), blocking work under a held mutex, and panics that unwind
+// with the lock still held.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type Box struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int
+	sig chan struct{}
+}
+
+var errLock error
+
+func (b *Box) MissingUnlock(fail bool) error {
+	b.mu.Lock() // want "not unlocked on every exit path"
+	if fail {
+		return errLock
+	}
+	b.n++
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *Box) MissingRUnlock(skip bool) int {
+	b.rw.RLock() // want "not read-unlocked on every exit path"
+	if skip {
+		return 0
+	}
+	n := b.n
+	b.rw.RUnlock()
+	return n
+}
+
+func (b *Box) DoubleLock() {
+	b.mu.Lock()
+	b.mu.Lock() // want "acquired again while already held"
+	b.n++
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func (b *Box) ReadWhileWrite() {
+	b.rw.Lock()
+	b.rw.RLock() // want "read-locked while write-held"
+	b.n++
+	b.rw.RUnlock()
+	b.rw.Unlock()
+}
+
+func (b *Box) SendHeld() {
+	b.mu.Lock()
+	b.sig <- struct{}{} // want "channel send while b.mu is held"
+	b.mu.Unlock()
+}
+
+func (b *Box) SleepHeld() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while b.mu is held"
+	b.mu.Unlock()
+}
+
+// wait blocks; its summary turns the call below into a finding even
+// though no blocking atom is syntactically under the lock.
+func (b *Box) wait() {
+	<-b.sig
+}
+
+func (b *Box) WaitHeld() {
+	b.mu.Lock()
+	b.wait() // want "call to wait may block while b.mu is held"
+	b.mu.Unlock()
+}
+
+// bump locks the receiver mutex; calling it with b.mu already held is
+// a self-deadlock the summary layer sees through the call.
+func (b *Box) bump() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *Box) Reenter() {
+	b.mu.Lock()
+	b.bump() // want "acquires b.mu which is already held"
+	b.mu.Unlock()
+}
+
+var tableMu sync.Mutex
+
+var table []int
+
+func resetTable() {
+	tableMu.Lock()
+	table = nil
+	tableMu.Unlock()
+}
+
+func GlobalReenter() {
+	tableMu.Lock()
+	resetTable() // want "acquires tableMu which is already held"
+	tableMu.Unlock()
+}
+
+func (b *Box) PanicHeld(bad bool) {
+	b.mu.Lock()
+	if bad {
+		panic("bad") // want "still held at panic"
+	}
+	b.n++
+	b.mu.Unlock()
+}

@@ -1,0 +1,89 @@
+// Known-good fixture for the lockcheck analyzer: the disciplined lock
+// shapes of the daemon — deferred unlocks, manual per-branch release
+// sequences, polls under a read lock, and hierarchical locking — none
+// of which may be flagged.
+package fixture
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+	ch chan int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// branchUnlock is the Job.Cancel shape: a manual unlock on every
+// branch of a switch-like sequence.
+func (c *Counter) branchUnlock(fail bool) error {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return errLock
+	}
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Counter) readSnapshot() (int, int) {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.n, c.n * 2
+}
+
+// publish blocks only after the release: lock-compute-unlock-send.
+func (c *Counter) publish() {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	c.ch <- v
+}
+
+// tryPublish is the queue.enqueue backpressure pattern: the send inside
+// a select with a default case is a poll, not a block.
+func (c *Counter) tryPublish() bool {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	select {
+	case c.ch <- c.n:
+		return true
+	default:
+		return false
+	}
+}
+
+// deferredClosure releases through a deferred closure; the credit is
+// scanned out of the literal body.
+func (c *Counter) deferredClosure() {
+	c.mu.Lock()
+	defer func() {
+		c.n++
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+// pair demonstrates hierarchical locking, which is deliberately out of
+// scope: Inc locks p.b.mu while p.a.mu is held — a different key.
+type pair struct {
+	a, b Counter
+}
+
+func (p *pair) bothInc() {
+	p.a.mu.Lock()
+	p.b.Inc()
+	p.a.mu.Unlock()
+}

@@ -1,0 +1,40 @@
+// Known-bad fixture for the nonblock analyzer: functions that declare
+// the //cardopc:nonblocking contract and then block anyway — through a
+// primitive atom, a channel range, or a module callee whose summary
+// blocks.
+package fixture
+
+import "time"
+
+type feed struct{ ch chan int }
+
+// next pulls one value from the feed; its summary blocks.
+func (f *feed) next() int { return <-f.ch }
+
+// snapshot is served on the request path but drags in a blocking
+// callee.
+//
+//cardopc:nonblocking
+func snapshot(f *feed) (int, int) {
+	v := f.next() // want "call to next may block"
+	return v, v * 2
+}
+
+//cardopc:nonblocking
+func flush(f *feed) int {
+	total := 0
+	for v := range f.ch { // want "range over channel"
+		total += v
+	}
+	return total
+}
+
+//cardopc:nonblocking
+func lazySleep() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in a"
+}
+
+//cardopc:nonblocking
+func sendOne(f *feed, v int) {
+	f.ch <- v // want "channel send in a"
+}

@@ -1,0 +1,48 @@
+// Known-good fixture for the nonblock analyzer: annotated functions
+// that honour the contract, and unannotated ones that may block
+// freely.
+package fixture
+
+// peek polls the head of the feed: select with a default case never
+// blocks, including the receive inside the comm clause.
+//
+//cardopc:nonblocking
+func peek(f *feed) (int, bool) {
+	select {
+	case v := <-f.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// trySend is the other direction of the same poll.
+//
+//cardopc:nonblocking
+func trySend(f *feed, v int) bool {
+	select {
+	case f.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// spawn hands the slow work to its own goroutine; the caller never
+// blocks.
+//
+//cardopc:nonblocking
+func spawn(f *feed) {
+	go func() {
+		f.next()
+	}()
+}
+
+// drainAll carries no directive, so it may block all it wants.
+func drainAll(f *feed, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += f.next()
+	}
+	return total
+}

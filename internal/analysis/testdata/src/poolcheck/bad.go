@@ -75,9 +75,30 @@ func useAfterPutInCond(n int) bool {
 	return g != nil // want "used after release"
 }
 
+// escapeReturn returns the live acquire directly: that is the blessed
+// pool-returning shape (summary PooledResults), so the function itself
+// is clean — the obligation moves to each call site below.
 func escapeReturn(n int) *Grid {
 	g := GetGrid(n, n)
-	return g // want "ownership moves to the caller"
+	return g
+}
+
+func discardFromProvider(n int) {
+	escapeReturn(n) // want "discarded"
+}
+
+func leakFromProvider(n int, fail bool) error {
+	g := escapeReturn(n) // want "not released on every exit path"
+	if fail {
+		return errFail
+	}
+	PutGrid(g)
+	return nil
+}
+
+func escapeCompositeReturn(n int) []*Grid {
+	g := GetGrid(n, n)
+	return []*Grid{g} // want "escapes through a composite return value"
 }
 
 type holder struct{ g *Grid }
@@ -90,6 +111,12 @@ func escapeField(h *holder, n int) {
 func escapeGoroutine(n int) {
 	g := GetGrid(n, n)
 	go use(g) // want "captured by goroutine"
+}
+
+func releaseWhileFenced(n int) {
+	g := GetGrid(n, n)
+	go use(g) // want "captured by goroutine"
+	PutGrid(g) // want "released while a goroutine may still use it"
 }
 
 func escapeClosure(n int) func() {
@@ -123,4 +150,27 @@ func leakCache(n int, fail bool) error {
 	}
 	c.Release()
 	return nil
+}
+
+// releaseIt is a releasing helper: its summary records ReleasesParams
+// [0], so passing a tracked value to it counts as the release.
+func releaseIt(g *Grid) {
+	PutGrid(g)
+}
+
+func doubleViaCallee(n int) {
+	g := GetGrid(n, n)
+	PutGrid(g)
+	releaseIt(g) // want "released twice"
+}
+
+// stash retains its second parameter (summary EscapesParams), so a
+// caller handing it a tracked value loses the local obligation.
+func stash(h *holder, g *Grid) {
+	h.g = g
+}
+
+func escapeViaCallee(h *holder, n int) {
+	g := GetGrid(n, n)
+	stash(h, g) // want "passed to stash, which retains it"
 }

@@ -2,6 +2,8 @@
 // acquire/release shapes of the hot path, none of which may be flagged.
 package fixture
 
+import "sync"
+
 func straightLine(n int) {
 	g := GetGrid(n, n)
 	use(g)
@@ -122,9 +124,68 @@ func earlyReturnBeforeAcquire(n int, skip bool) {
 	PutGrid(g)
 }
 
-// allowedEscape shows a documented hand-off: the allow directive
-// records the contract and suppresses the escape diagnostic.
-func allowedEscape(n int) *Grid {
+// providerCallerReleases consumes a pool-returning function
+// (escapeReturn in bad.go): the summary hands the obligation to this
+// call site, and the release here discharges it.
+func providerCallerReleases(n int) {
+	g := escapeReturn(n)
+	use(g)
+	PutGrid(g)
+}
+
+// releaseViaHelper discharges the obligation through a callee whose
+// summary releases the parameter (releaseIt in bad.go).
+func releaseViaHelper(n int) {
 	g := GetGrid(n, n)
-	return g //cardopc:allow poolcheck ownership documented: caller must PutGrid
+	use(g)
+	releaseIt(g)
+}
+
+// fencedGoroutineBorrow is the litho convolution fan-out: workers
+// borrow the grid, wg.Wait fences the borrow, and only then is the
+// value released.
+func fencedGoroutineBorrow(n, workers int) {
+	g := GetGrid(n, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			use(g)
+		}()
+	}
+	wg.Wait()
+	PutGrid(g)
+}
+
+// deferFencedBorrow fences with a deferred barrier instead of an
+// inline one: the Wait still runs on every exit.
+func deferFencedBorrow(n int) {
+	g := GetGrid(n, n)
+	defer PutGrid(g)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	defer wg.Wait()
+	go func() {
+		defer wg.Done()
+		use(g)
+	}()
+}
+
+// cacheOwner mirrors fft.ForwardCache: a method that releases every
+// pooled value reachable from its receiver (summary ReleasesRecvHeld)
+// makes the type a legitimate owner, so storing an acquire into its
+// fields is an ownership transfer, not an escape.
+type cacheOwner struct{ grids []*Grid }
+
+func (c *cacheOwner) Release() {
+	for _, g := range c.grids {
+		if g != nil {
+			PutGrid(g)
+		}
+	}
+}
+
+func (c *cacheOwner) fill(n int) {
+	c.grids[0] = GetGrid(n, n)
 }

@@ -6,6 +6,7 @@
 package ilt
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -108,11 +109,23 @@ func (s *Solver) maskFromThetaInto(m *raster.Field) *raster.Field {
 
 // Run optimises the latent mask and returns the result.
 func (s *Solver) Run() *Result {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cooperative cancellation, mirroring
+// core.Optimizer.RunContext: the context is checked between descent
+// iterations — the boundary where the forward cache's pooled grids are
+// quiescent — so a cancelled solve leaks nothing. On cancellation it
+// returns the partial result (mask materialised from the latest θ,
+// history up to the interrupted iteration) alongside ctx.Err().
+func (s *Solver) RunContext(ctx context.Context) (*Result, error) {
 	defer obs.Start("ilt.run").End(obs.A("iterations", s.cfg.Iterations))
 	opt := optim.NewAdam(s.cfg.LR)
 	ith := s.sim.Config().Threshold
 	beta := s.cfg.ResistSteepness
 	var history []float64
+	var runErr error
 
 	// Steady-state buffers: the mask/aerial fields, the loss gradient G,
 	// the adjoint gm and the forward cache are allocated once and reused
@@ -126,6 +139,11 @@ func (s *Solver) Run() *Result {
 	cache := s.sim.NewForwardCache()
 	defer cache.Release()
 	for it := 0; it < s.cfg.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			obs.C("ilt.runs.cancelled").Inc()
+			runErr = err
+			break
+		}
 		span := obs.Start("ilt.step")
 		t0 := time.Time{}
 		if span.Enabled() {
@@ -169,11 +187,17 @@ func (s *Solver) Run() *Result {
 	if len(history) > 0 {
 		res.Loss = history[len(history)-1]
 	}
-	return res
+	return res, runErr
 }
 
 // Run is the convenience entry point: target polygons rasterised by the
 // caller into a 0/1 field.
 func Run(sim *litho.Simulator, target *raster.Field, cfg Config) *Result {
 	return NewSolver(sim, target, cfg).Run()
+}
+
+// RunContext is Run with cooperative cancellation; see
+// Solver.RunContext for the partial-result contract.
+func RunContext(ctx context.Context, sim *litho.Simulator, target *raster.Field, cfg Config) (*Result, error) {
+	return NewSolver(sim, target, cfg).RunContext(ctx)
 }

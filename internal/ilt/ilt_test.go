@@ -1,6 +1,7 @@
 package ilt
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -140,6 +141,60 @@ func TestILTMaskIsCurvilinear(t *testing.T) {
 	}
 	if diff == 0 {
 		t.Error("ILT did not modify the mask at all")
+	}
+}
+
+// cutoffCtx reports cancellation after its Err method has been consulted
+// limit times — a deterministic stand-in for a deadline firing mid-solve.
+type cutoffCtx struct {
+	context.Context
+	calls, limit int
+}
+
+func (c *cutoffCtx) Err() error {
+	c.calls++
+	if c.calls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	sim := testSim()
+	tgt := targetField(sim.Grid(), []geom.Polygon{
+		geom.Rect{Min: geom.P(940, 940), Max: geom.P(1100, 1100)}.Poly(),
+	})
+	cfg := DefaultConfig()
+	cfg.Iterations = 50
+
+	// Already-cancelled context: no iterations run, but the partial-result
+	// contract still holds — the mask materialises from the initial θ.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, sim, tgt, cfg)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Mask == nil || res.BinaryMask == nil {
+		t.Fatalf("cancelled run returned no partial result: %+v", res)
+	}
+	if len(res.History) != 0 {
+		t.Errorf("pre-cancelled run recorded %d iterations", len(res.History))
+	}
+
+	// Cancellation mid-solve: the loop checks the context once per
+	// iteration, so a cutoff after 3 consultations yields exactly 3
+	// recorded iterations and the loss of the last completed one.
+	cut := &cutoffCtx{Context: context.Background(), limit: 3}
+	res, err = RunContext(cut, sim, tgt, cfg)
+	if err != context.Canceled {
+		t.Fatalf("mid-solve err = %v, want context.Canceled", err)
+	}
+	if len(res.History) != cut.limit {
+		t.Fatalf("history = %d iterations, want %d", len(res.History), cut.limit)
+	}
+	if res.Loss != res.History[len(res.History)-1] {
+		t.Errorf("partial Loss %v != last history entry %v", res.Loss, res.History[len(res.History)-1])
 	}
 }
 

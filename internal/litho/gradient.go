@@ -34,7 +34,7 @@ func (c *ForwardCache) ensure(n int) {
 	}
 	for i, a := range c.amps {
 		if a == nil {
-			c.amps[i] = fft.GetGrid(n, n) //cardopc:allow poolcheck grids are cache-owned; Release returns every non-nil slot
+			c.amps[i] = fft.GetGrid(n, n) // cache-owned: Release returns every non-nil slot
 		}
 	}
 }
@@ -56,7 +56,7 @@ func (c *ForwardCache) Release() {
 func (s *Simulator) AerialWithCache(mask *raster.Field) (*raster.Field, *ForwardCache) {
 	cache := s.NewForwardCache()
 	out := s.AerialWithCacheInto(raster.NewField(s.grid), cache, mask)
-	return out, cache //cardopc:allow poolcheck documented hand-off: the caller must cache.Release when done
+	return out, cache // pool-returning: the caller must cache.Release when done
 }
 
 // AerialWithCacheInto is AerialWithCache writing the aerial image into
@@ -94,7 +94,7 @@ func (s *Simulator) AerialWithCacheInto(out *raster.Field, cache *ForwardCache, 
 			for ki := w; ki < len(s.kernels); ki += workers {
 				ksp := obs.StartOn(obs.TrackLithoWorker+w, "litho.kernel")
 				amp := cache.amps[ki]
-				fft.ConvolveInto(amp, mf, s.kernels[ki]) //cardopc:allow poolcheck workers only read mf; wg.Wait fences the PutGrid below
+				fft.ConvolveInto(amp, mf, s.kernels[ki]) // workers only read mf; wg.Wait fences the PutGrid below
 				wk := s.weights[ki]
 				for i, v := range amp.Data {
 					re, im := real(v), imag(v)

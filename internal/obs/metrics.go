@@ -97,11 +97,13 @@ type Counter struct{ v atomic.Int64 }
 // Inc adds one. Nil-safe.
 //
 //cardopc:noalloc
+//cardopc:nonblocking
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds n. Nil-safe.
 //
 //cardopc:noalloc
+//cardopc:nonblocking
 func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
@@ -124,6 +126,7 @@ type Gauge struct{ bits atomic.Uint64 }
 // Set stores v. Nil-safe.
 //
 //cardopc:noalloc
+//cardopc:nonblocking
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return

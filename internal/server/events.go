@@ -62,7 +62,11 @@ func (h *eventHub) detach(e *jobEvents) {
 }
 
 // Write fans one JSONL line out to every live job log. The line is
-// copied once; logs share the copy (they never mutate it).
+// copied once; logs share the copy (they never mutate it). It sits on
+// the obs emit path of every running job, so it must never block —
+// enforced transitively through jobEvents.append.
+//
+//cardopc:nonblocking
 func (h *eventHub) Write(p []byte) (int, error) {
 	h.mu.Lock()
 	if len(h.running) > 0 {

@@ -15,7 +15,8 @@ import (
 // layout; everything else is optional with serving defaults.
 type JobSpec struct {
 	// Kind selects the flow: "clip" (default) runs single-window
-	// CardOPC, "bigopc" runs the tiled large-layout driver.
+	// CardOPC, "bigopc" runs the tiled large-layout driver, "ilt" runs
+	// the pixel inverse-lithography solver.
 	Kind string `json:"kind,omitempty"`
 	// Case names a built-in testcase (V1..V13, M1..M10).
 	Case string `json:"case,omitempty"`
@@ -46,9 +47,9 @@ type JobSpec struct {
 // the same way the run path will.
 func (s JobSpec) validate() error {
 	switch s.Kind {
-	case "", "clip", "bigopc":
+	case "", "clip", "bigopc", "ilt":
 	default:
-		return fmt.Errorf("unknown kind %q (want clip or bigopc)", s.Kind)
+		return fmt.Errorf("unknown kind %q (want clip, bigopc or ilt)", s.Kind)
 	}
 	if s.Case == "" && len(s.Targets) == 0 {
 		return fmt.Errorf("need case or targets")
@@ -112,6 +113,8 @@ type JobResult struct {
 	EPEViolations int     `json:"epe_violations,omitempty"`
 	PVBNM2        float64 `json:"pvb_nm2,omitempty"`
 	L2Px          int     `json:"l2_px,omitempty"`
+	// ILTLoss is the final pixel-ILT objective (ilt flow only).
+	ILTLoss float64 `json:"ilt_loss,omitempty"`
 	// Shapes and Tiles summarise the corrected geometry.
 	Shapes int `json:"shapes"`
 	Tiles  int `json:"tiles,omitempty"`
@@ -169,7 +172,10 @@ type JobView struct {
 	Result      *JobResult `json:"result,omitempty"`
 }
 
-// view snapshots the job for serving.
+// view snapshots the job for serving. It runs on the request path
+// under j.mu, so it must never block.
+//
+//cardopc:nonblocking
 func (j *Job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -244,6 +250,8 @@ func (j *Job) Cancel() bool {
 }
 
 // statusNow returns the current status.
+//
+//cardopc:nonblocking
 func (j *Job) statusNow() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()

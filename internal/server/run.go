@@ -10,6 +10,7 @@ import (
 	"cardopc/internal/cli"
 	"cardopc/internal/core"
 	"cardopc/internal/geom"
+	"cardopc/internal/ilt"
 	"cardopc/internal/litho"
 	"cardopc/internal/metrics"
 	"cardopc/internal/obs"
@@ -80,6 +81,8 @@ func (s *Server) runSpec(ctx context.Context, spec JobSpec) (res *JobResult, err
 	switch spec.Kind {
 	case "bigopc":
 		return s.runBigopc(ctx, spec)
+	case "ilt":
+		return s.runILT(ctx, spec)
 	default:
 		return s.runClip(ctx, spec)
 	}
@@ -163,6 +166,47 @@ func measureClip(proc *litho.Process, maskPolys, targets []geom.Polygon, spacing
 	out.EPEViolations = epe.Violations
 	out.PVBNM2 = pvb
 	out.L2Px = metrics.L2(nomB, tgt)
+}
+
+// runILT is the pixel inverse-lithography flow: the target polygons are
+// rasterised to a 0/1 field and the descent loop runs under the job
+// context, so a cancelled or timed-out job stops at the next iteration
+// boundary.
+func (s *Server) runILT(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	clip, err := spec.clip()
+	if err != nil {
+		return nil, err
+	}
+	lcfg := lithoConfig(spec, litho.DefaultConfig().PitchNM)
+	if err := lcfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := ilt.DefaultConfig()
+	if spec.Iters > 0 {
+		cfg.Iterations = spec.Iters
+	}
+
+	sim := s.procs.Get(lcfg, litho.DefaultCorners()).Nominal
+	g := sim.Grid()
+	target := raster.Rasterize(g, clip.Targets, 2)
+	for i, v := range target.Data {
+		if v >= 0.5 {
+			target.Data[i] = 1
+		} else {
+			target.Data[i] = 0
+		}
+	}
+	res, err := ilt.RunContext(ctx, sim, target, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &JobResult{
+		Iterations: len(res.History),
+		ILTLoss:    res.Loss,
+		L2Px:       metrics.L2(res.BinaryMask, target.Threshold(0.5)),
+	}
+	return out, nil
 }
 
 // runBigopc is the tiled flow over a warm simulator.

@@ -395,6 +395,33 @@ func TestBigopcJob(t *testing.T) {
 	}
 }
 
+func TestILTJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ilt job runs the pixel solver")
+	}
+	_, ts := testServer(t, Config{})
+
+	spec := tinySpec()
+	spec.Kind = "ilt"
+	v, resp := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	done := waitTerminal(t, ts, v.ID, 60*time.Second)
+	if done.Status != StatusDone {
+		t.Fatalf("ilt job ended %s (%s)", done.Status, done.Error)
+	}
+	r := done.Result
+	if r == nil || r.Iterations != spec.Iters || r.ILTLoss <= 0 {
+		t.Fatalf("result: %+v", r)
+	}
+	// Two descent iterations leave a printable mask: the L2 distance to
+	// target stays bounded by the raster size rather than blowing up.
+	if r.L2Px < 0 || r.L2Px >= spec.Grid*spec.Grid {
+		t.Errorf("L2Px = %d out of range for a %dpx grid", r.L2Px, spec.Grid)
+	}
+}
+
 func TestJobViewJSONShape(t *testing.T) {
 	// The wire shape is consumed by the CI smoke's jq assertions — keep
 	// the key names stable.
