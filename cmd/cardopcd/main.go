@@ -63,7 +63,7 @@ func serve(args []string) int {
 	var (
 		addr       = fs.String("addr", "127.0.0.1:8347", "listen address (host:0 picks an ephemeral port)")
 		queueDepth = fs.Int("queue", 64, "bounded job queue depth (full queue answers 429)")
-		workers    = fs.Int("workers", 1, "concurrent job executors")
+		workers    = fs.Int("workers", 2, "concurrent job executors (telemetry stays per-job exact at any count)")
 		jobTimeout = fs.Duration("job-timeout", 5*time.Minute, "default per-job deadline")
 		drainWait  = fs.Duration("drain-timeout", 2*time.Minute, "graceful drain budget before in-flight jobs are cancelled")
 		warm       = fs.Bool("warm", true, "pre-build the default kernel set at boot")

@@ -1,0 +1,37 @@
+// Command promcheck validates a Prometheus text-format exposition
+// against the subset of the format cardopc emits — a stdlib stand-in
+// for `promtool check metrics`, used by CI's service smoke test:
+//
+//	curl -s localhost:9090/metrics | go run ./cmd/promcheck
+//	go run ./cmd/promcheck metrics.prom
+//
+// It exits 0 when the input parses clean, 1 with the first violation
+// otherwise.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"cardopc/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		name = os.Args[1]
+	}
+	if err := obs.ValidateProm(in); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}

@@ -17,14 +17,17 @@ import (
 //	}
 //
 // so the record construction is skipped entirely on the disabled path.
-// ObsGuard flags any call to obs's Emit lexically inside a for/range
-// loop that is not inside the body of an if whose condition calls
-// something named Enabled. Function literals are separate functions: an
-// Emit inside a worker closure is judged against the loops of that
-// closure, which is exactly how the cost accrues at runtime.
+// The scoped-emit spelling scope.Emit(&obs.OPCIter{...}) (obs.Scope,
+// PR 9) has the same cost shape and needs the same gate. ObsGuard
+// flags any call to obs's Emit — ambient or scoped — lexically inside
+// a for/range loop that is not inside the body of an if whose
+// condition calls something named Enabled. Function literals are
+// separate functions: an Emit inside a worker closure is judged
+// against the loops of that closure, which is exactly how the cost
+// accrues at runtime.
 var ObsGuard = &Analyzer{
 	Name: "obsguard",
-	Doc:  "require obs.Emit calls in loops to sit behind an Enabled() guard",
+	Doc:  "require obs.Emit and Scope.Emit calls in loops to sit behind an Enabled() guard",
 	Run:  runObsGuard,
 }
 
@@ -160,8 +163,12 @@ func (og *obsGuardChecker) checkExpr(e ast.Expr, inLoop, guarded bool) {
 }
 
 // isObsEmit matches Emit calls belonging to the obs package: the
-// qualified obs.Emit form, or a callee whose object lives in a package
-// named obs (covers dot-imports and telemetry handles in fixtures).
+// qualified obs.Emit form, the scoped-emit form scope.Emit on an
+// obs.Scope-typed receiver, or a callee whose object lives in a
+// package named obs (covers dot-imports and telemetry handles in
+// fixtures). Scoped emission carries the same cost shape as ambient
+// emission — the record literal allocates before the disabled check —
+// so both spellings need the Enabled() gate in loops.
 func (og *obsGuardChecker) isObsEmit(call *ast.CallExpr) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
@@ -178,8 +185,18 @@ func (og *obsGuardChecker) isObsEmit(call *ast.CallExpr) bool {
 			return true // fixture stub: a value named obs with an Emit method
 		}
 	}
-	if obj := og.pass.ObjectOf(sel.Sel); obj != nil && obj.Pkg() != nil {
-		return obj.Pkg().Name() == "obs"
+	if obj := og.pass.ObjectOf(sel.Sel); obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == "obs" {
+		return true
+	}
+	// Receiver typed as a Scope (obs.Scope, or a fixture's local stub of
+	// the same shape): match by the receiver's named type.
+	if t := og.pass.TypeOf(sel.X); t != nil {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj() != nil && named.Obj().Name() == "Scope" {
+			return true
+		}
 	}
 	return false
 }

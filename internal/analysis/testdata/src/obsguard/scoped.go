@@ -1,0 +1,66 @@
+// Scoped-emit fixtures for the obsguard analyzer: the scope.Emit
+// spelling (obs.Scope) must sit behind the same Enabled() gate as
+// ambient obs.Emit. Scope here is a local stub matched by its named
+// type, the same way the analyzer matches the real obs.Scope.
+package fixture
+
+type Scope struct{}
+
+func (Scope) Emit(rec interface{}) {}
+
+func (Scope) Enabled() bool { return false }
+
+func (Scope) Count(name string, n int64) {}
+
+func badScopedForLoop(sc Scope, n int) {
+	for i := 0; i < n; i++ {
+		sc.Emit(&iterRec{i: i}) // want "without an Enabled"
+	}
+}
+
+func badScopedRangeLoop(sc Scope, xs []int) {
+	for _, x := range xs {
+		sc.Emit(x) // want "without an Enabled"
+	}
+}
+
+func badScopedPointerRecv(sc *Scope, n int) {
+	for i := 0; i < n; i++ {
+		sc.Emit(i) // want "without an Enabled"
+	}
+}
+
+func badScopedWorkerClosure(sc Scope, n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			sc.Emit(i) // want "without an Enabled"
+		}
+	}()
+}
+
+func goodScopedGuardedLoop(sc Scope, n int) {
+	for i := 0; i < n; i++ {
+		if sc.Enabled() {
+			sc.Emit(&iterRec{i: i})
+		}
+	}
+}
+
+func goodScopedSpanGuard(sc Scope, n int) {
+	sp := span{}
+	for i := 0; i < n; i++ {
+		if sp.Enabled() {
+			sc.Emit(i)
+		}
+	}
+}
+
+func goodScopedOutsideLoop(sc Scope, n int) {
+	sc.Emit(n) // one record per call, not per iteration
+}
+
+func goodScopedCountInLoop(sc Scope, n int) {
+	for i := 0; i < n; i++ {
+		sc.Count("iter", 1) // counters are allocation-free; only Emit needs the gate
+	}
+}

@@ -101,7 +101,8 @@ func RunContext(ctx context.Context, targets []geom.Polygon, cfg Config) (*Resul
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	defer obs.Start("bigopc.run").End()
+	sc := obs.ScopeFromContext(ctx) // hoisted: workers capture sc, never walk the ctx
+	defer sc.Start("bigopc.run").End()
 	sim := cfg.Sim
 	if sim == nil {
 		sim = litho.NewSimulator(cfg.Litho)
@@ -187,8 +188,8 @@ func RunContext(ctx context.Context, targets []geom.Polygon, cfg Config) (*Resul
 	if workers > len(keys) {
 		workers = len(keys)
 	}
-	obs.G("bigopc.workers").Set(float64(workers))
-	obs.C("bigopc.tiles.total").Add(int64(len(keys)))
+	sc.SetGauge("bigopc.workers", float64(workers))
+	sc.Count("bigopc.tiles.total", int64(len(keys)))
 	results := make([][]geom.Polygon, len(keys))
 	var wg sync.WaitGroup
 	idx := make(chan int)
@@ -202,14 +203,14 @@ func RunContext(ctx context.Context, targets []geom.Polygon, cfg Config) (*Resul
 			for i := range idx {
 				key := keys[i]
 				obs.G("bigopc.workers.busy").Add(1)
-				span := obs.StartOn(obs.TrackTileWorker+w, "bigopc.tile")
+				span := sc.StartOn(obs.TrackTileWorker+w, "bigopc.tile")
 				t0 := time.Time{}
 				if span.Enabled() {
 					t0 = time.Now()
 				}
 				results[i] = correctTile(ctx, sim, jobs[key], cfg, &opt)
 				if span.Enabled() {
-					obs.Emit(&obs.TileDone{
+					sc.Emit(&obs.TileDone{
 						Col:    key[0],
 						Row:    key[1],
 						Shapes: len(results[i]),
@@ -221,7 +222,7 @@ func RunContext(ctx context.Context, targets []geom.Polygon, cfg Config) (*Resul
 					span.End()
 				}
 				obs.G("bigopc.workers.busy").Add(-1)
-				obs.C("bigopc.tiles.done").Inc()
+				sc.Count("bigopc.tiles.done", 1)
 			}
 		}(w)
 	}
@@ -240,7 +241,7 @@ dispatch:
 	// Re-check after the workers drain: cancellation can land after the
 	// last dispatch, while tiles are still in flight.
 	if cancelled || ctx.Err() != nil {
-		obs.C("bigopc.runs.cancelled").Inc()
+		sc.Count("bigopc.runs.cancelled", 1)
 		return nil, ctx.Err()
 	}
 
@@ -249,7 +250,7 @@ dispatch:
 		res.MaskPolys = append(res.MaskPolys, polys...)
 		res.Shapes += len(polys)
 	}
-	obs.C("bigopc.shapes").Add(int64(res.Shapes))
+	sc.Count("bigopc.shapes", int64(res.Shapes))
 	return res, nil
 }
 

@@ -34,6 +34,12 @@ type Optimizer struct {
 	field   *raster.Field // mask raster scratch
 	aerial  *raster.Field // aerial image scratch
 	smoothW []float64     // binomial smoothing weights for cfg.SmoothWindow
+
+	// scope attributes the loop's telemetry to the unit of work that
+	// owns this run (a cardopcd job). RunContext recovers it from the
+	// context once, so Step never pays a context walk per iteration; the
+	// zero value is the ambient scope (CLI runs, direct Run calls).
+	scope obs.Scope
 }
 
 // NewOptimizer initialises the flow for the target polygons: SRAF insertion,
@@ -90,11 +96,12 @@ func (o *Optimizer) Run() *Result {
 // cancelled correction leaks nothing. On cancellation it returns the
 // partial result alongside ctx.Err().
 func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
-	defer obs.Start("opc.run").End(obs.A("iterations", o.cfg.Iterations))
+	o.scope = obs.ScopeFromContext(ctx) // hoisted: Step reads o.scope, never the ctx
+	defer o.scope.Start("opc.run").End(obs.A("iterations", o.cfg.Iterations))
 	res := &Result{Mask: o.mask}
 	for it := 0; it < o.cfg.Iterations; it++ {
 		if err := ctx.Err(); err != nil {
-			obs.C("opc.runs.cancelled").Inc()
+			o.scope.Count("opc.runs.cancelled", 1)
 			return res, err
 		}
 		sum := o.Step(it)
@@ -110,7 +117,7 @@ func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 //
 //cardopc:noalloc
 func (o *Optimizer) Step(it int) float64 {
-	span := obs.Start("opc.step")
+	span := o.scope.Start("opc.step")
 	t0 := time.Time{}
 	if span.Enabled() {
 		t0 = time.Now()
@@ -118,7 +125,7 @@ func (o *Optimizer) Step(it int) float64 {
 	step := o.cfg.stepAt(it)
 
 	// ③ Connect control points and ④ simulate.
-	rsp := obs.Start("opc.rasterize")
+	rsp := o.scope.Start("opc.rasterize")
 	o.mask.RasterizeInto(o.field, o.cfg.SamplesPerSeg, 4)
 	rsp.End()
 	aerial := o.sim.AerialInto(o.aerial, o.field)
@@ -149,11 +156,11 @@ func (o *Optimizer) Step(it int) float64 {
 			total += math.Abs(e)
 		}
 	}
-	obs.C("opc.iterations").Inc()
-	obs.C("opc.moves.clamped").Add(int64(clamped))
-	obs.G("opc.loss").Set(total)
+	o.scope.Count("opc.iterations", 1)
+	o.scope.Count("opc.moves.clamped", int64(clamped))
+	o.scope.SetGauge("opc.loss", total)
 	if span.Enabled() {
-		obs.Emit(&obs.OPCIter{
+		o.scope.Emit(&obs.OPCIter{
 			Iter:      it,
 			Loss:      total,
 			MaxMoveNM: maxMove,

@@ -120,7 +120,8 @@ func (s *Solver) Run() *Result {
 // returns the partial result (mask materialised from the latest θ,
 // history up to the interrupted iteration) alongside ctx.Err().
 func (s *Solver) RunContext(ctx context.Context) (*Result, error) {
-	defer obs.Start("ilt.run").End(obs.A("iterations", s.cfg.Iterations))
+	sc := obs.ScopeFromContext(ctx) // hoisted out of the descent loop
+	defer sc.Start("ilt.run").End(obs.A("iterations", s.cfg.Iterations))
 	opt := optim.NewAdam(s.cfg.LR)
 	ith := s.sim.Config().Threshold
 	beta := s.cfg.ResistSteepness
@@ -140,11 +141,11 @@ func (s *Solver) RunContext(ctx context.Context) (*Result, error) {
 	defer cache.Release()
 	for it := 0; it < s.cfg.Iterations; it++ {
 		if err := ctx.Err(); err != nil {
-			obs.C("ilt.runs.cancelled").Inc()
+			sc.Count("ilt.runs.cancelled", 1)
 			runErr = err
 			break
 		}
-		span := obs.Start("ilt.step")
+		span := sc.Start("ilt.step")
 		t0 := time.Time{}
 		if span.Enabled() {
 			t0 = time.Now()
@@ -170,10 +171,10 @@ func (s *Solver) RunContext(ctx context.Context) (*Result, error) {
 			grad[i] = (gm[i] + s.cfg.AreaPenalty) * s.cfg.MaskSteepness * m * (1 - m)
 		}
 		opt.Step(s.theta, grad)
-		obs.C("ilt.iterations").Inc()
-		obs.G("ilt.loss").Set(loss)
+		sc.Count("ilt.iterations", 1)
+		sc.SetGauge("ilt.loss", loss)
 		if span.Enabled() {
-			obs.Emit(&obs.ILTIter{Iter: it, Loss: loss, DurMS: time.Since(t0).Seconds() * 1e3})
+			sc.Emit(&obs.ILTIter{Iter: it, Loss: loss, DurMS: time.Since(t0).Seconds() * 1e3})
 		}
 		span.End(obs.A("iter", it), obs.A("loss", loss))
 	}

@@ -45,6 +45,16 @@ func NewProcessCache() *ProcessCache {
 // first request. The returned Process is shared — callers must treat it
 // as immutable (Simulator already is, once constructed).
 func (c *ProcessCache) Get(cfg Config, corners CornerSpec) *Process {
+	return c.GetScoped(obs.Scope{}, cfg, corners)
+}
+
+// GetScoped is Get with attribution: the cache hit/miss counters are
+// recorded through sc, so a server job's overlay registry shows which
+// jobs paid cold-start kernel builds and which ran warm. The Process
+// itself stays shared across scopes — attribution labels the lookup,
+// not the artifact. The ambient (zero) scope makes this identical to
+// Get.
+func (c *ProcessCache) GetScoped(sc obs.Scope, cfg Config, corners CornerSpec) *Process {
 	if cfg.Dose == 0 {
 		cfg.Dose = 1
 	}
@@ -60,9 +70,9 @@ func (c *ProcessCache) Get(cfg Config, corners CornerSpec) *Process {
 	}
 	c.mu.Unlock()
 	if ok {
-		obs.C("litho.proc_cache.hit").Inc()
+		sc.Count("litho.proc_cache.hit", 1)
 	} else {
-		obs.C("litho.proc_cache.miss").Inc()
+		sc.Count("litho.proc_cache.miss", 1)
 	}
 	e.once.Do(func() { e.proc = NewProcess(cfg, corners) })
 	return e.proc

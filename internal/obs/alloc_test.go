@@ -23,6 +23,14 @@ func TestDisabledPathAllocs(t *testing.T) {
 		{"gauge", func() { G("bigopc.workers.busy").Add(1) }},
 		{"histogram", func() { H("opc.step.ms").Observe(3.5) }},
 		{"emit", func() { Emit(rec) }},
+		// Scoped variants carry the same contract: a scope is a value
+		// handle, so labelling must not buy any disabled-path cost.
+		{"scope_emit", func() { ScopeFor("j-1").Emit(rec) }},
+		{"scope_count", func() { ScopeFor("j-1").Count("opc.iterations", 1) }},
+		{"scope_gauge", func() { ScopeFor("j-1").SetGauge("opc.loss", 1) }},
+		{"scope_observe", func() { ScopeFor("j-1").Observe("opc.step.ms", 1) }},
+		{"scope_span", func() { ScopeFor("j-1").Start("opc.step").End() }},
+		{"scope_span_on_track", func() { ScopeFor("j-1").StartOn(TrackTileWorker, "bigopc.tile").End() }},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -65,4 +73,35 @@ func BenchmarkCounterEnabled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		C("bench.counter").Inc()
 	}
+}
+
+// discardRouter drops routed lines (benchmark sink).
+type discardRouter struct{}
+
+func (discardRouter) WriteRecord(string, []byte) {}
+
+// BenchmarkEmitScoped measures scoped emission — the per-record price
+// cardopcd pays on every telemetry event under concurrent executors.
+// The disabled sub-benchmark pins the scoped variant of the
+// zero-overhead contract (benchdiff-tracked); the enabled one includes
+// the JSON encode and the router dispatch.
+func BenchmarkEmitScoped(b *testing.B) {
+	rec := &OPCIter{Iter: 1, Loss: 2}
+	b.Run("disabled", func(b *testing.B) {
+		Setup(nil)
+		sc := ScopeFor("j-bench")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.Emit(rec)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		Setup(&State{Telemetry: NewTelemetryRouter(discardRouter{})})
+		defer Setup(nil)
+		sc := ScopeFor("j-bench")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.Emit(rec)
+		}
+	})
 }

@@ -39,13 +39,18 @@ func RegisterDebug(mux *http.ServeMux) {
 }
 
 // ServeDebug starts an HTTP listener for long runs: net/http/pprof
-// under /debug/pprof/ and the expvar bridge under /debug/vars. It
-// returns the bound address (useful with ":0") or an error if the
-// listener cannot bind. The server runs until the process exits —
-// debug listeners are deliberately not part of run shutdown.
+// under /debug/pprof/, the expvar bridge under /debug/vars, and the
+// Prometheus exposition under /metrics. It returns the bound address
+// (useful with ":0") or an error if the listener cannot bind. The
+// server runs until the process exits — debug listeners are
+// deliberately not part of run shutdown.
+//
+// /metrics is mounted here rather than in RegisterDebug because
+// servers sharing their mux (cardopcd) route /metrics themselves.
 func ServeDebug(addr string) (string, error) {
 	mux := http.NewServeMux()
 	RegisterDebug(mux)
+	mux.Handle("/metrics", PromHandler())
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

@@ -34,6 +34,17 @@
 //	obs.Emit(&obs.OPCIter{Iter: it, Loss: loss})
 //
 //	st.Tracer.WriteJSON(f)            // chrome://tracing file
+//
+// # Scoped telemetry
+//
+// Long-running processes (cardopcd) run several units of work
+// concurrently over the one process-global state. An obs.Scope labels
+// everything emitted through it with the unit's identity (job id), so
+// the telemetry stream stays attributable: records gain a "job" field,
+// trace spans a job arg, and counters can additionally feed a per-job
+// overlay registry. Scopes thread through the layers via contexts
+// (ContextWithScope / ScopeFromContext); the zero Scope is the ambient
+// no-label scope, so CLI paths are unchanged. See scope.go.
 package obs
 
 import (
@@ -107,7 +118,10 @@ func G(name string) *Gauge { return Metrics().Gauge(name) }
 func H(name string) *Histogram { return Metrics().Histogram(name, TimeBucketsMS) }
 
 // Emit writes one record to the process-wide telemetry stream; it
-// drops the record when telemetry is disabled.
+// drops the record when telemetry is disabled. Ambient emission: the
+// record carries no job label (any stale label from a previous scoped
+// emit of a reused record is cleared). Work that belongs to a unit of
+// work emits through its Scope instead (see scope.go).
 //
 //cardopc:noalloc
 func Emit(rec Record) {
@@ -115,5 +129,6 @@ func Emit(rec Record) {
 	if st == nil {
 		return
 	}
+	rec.setJob("")
 	st.Telemetry.Emit(rec)
 }

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePromRoundTrip renders a populated registry and validates it
+// with the repo's own exposition checker — the same pairing CI uses
+// (curl /metrics | promcheck), so the emitter and the validator are
+// pinned against each other.
+func TestWritePromRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("opc.iterations").Add(42)
+	r.Counter("server.jobs.done").Add(3)
+	r.Gauge("opc.loss").Set(12.5)
+	r.Gauge("bigopc.workers").Set(4)
+	h := r.Histogram("span.opc.step.ms", TimeBucketsMS)
+	for _, v := range []float64{0.2, 0.7, 3, 3, 40, 12000} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := buf.String()
+	if err := ValidateProm(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition does not validate: %v\n%s", err, out)
+	}
+
+	for _, want := range []string{
+		"# TYPE cardopc_opc_iterations_total counter",
+		"cardopc_opc_iterations_total 42",
+		"# TYPE cardopc_opc_loss gauge",
+		"cardopc_opc_loss 12.5",
+		"# TYPE cardopc_span_opc_step_ms histogram",
+		`cardopc_span_opc_step_ms_bucket{le="+Inf"} 6`,
+		"cardopc_span_opc_step_ms_count 6",
+		`cardopc_span_opc_step_ms_quantile{quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Deterministic: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WriteProm(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("WriteProm output is not deterministic across renders")
+	}
+}
+
+// TestWritePromNilAndEmpty: nil and empty registries produce valid
+// (empty) expositions.
+func TestWritePromNilAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	var nilReg *Registry
+	if err := nilReg.WriteProm(&buf); err != nil {
+		t.Fatalf("nil registry: %v", err)
+	}
+	if err := NewRegistry().WriteProm(&buf); err != nil {
+		t.Fatalf("empty registry: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty exposition has %d bytes: %q", buf.Len(), buf.String())
+	}
+	if err := ValidateProm(&buf); err != nil {
+		t.Errorf("empty exposition invalid: %v", err)
+	}
+}
+
+// TestPromName pins the sanitisation: dotted registry names become
+// underscore names under the cardopc_ namespace.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"opc.iterations":     "cardopc_opc_iterations",
+		"span.opc.step.ms":   "cardopc_span_opc_step_ms",
+		"server.jobs.done":   "cardopc_server_jobs_done",
+		"weird-name with:ok": "cardopc_weird_name_with:ok",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestBucketQuantile checks the interpolation against hand-computed
+// values.
+func TestBucketQuantile(t *testing.T) {
+	// Bounds 1, 2, 4, +Inf with counts 2, 2, 0, 0 → 4 observations.
+	bk := []BucketCount{
+		{UpperBound: 1, Count: 2},
+		{UpperBound: 2, Count: 2},
+		{UpperBound: 4, Count: 0},
+		{UpperBound: math.Inf(1), Count: 0},
+	}
+	// Median: rank 2 lands exactly at the first bucket's upper edge.
+	if got := bucketQuantile(bk, 0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("q0.5 = %v, want 1", got)
+	}
+	// q0.75: rank 3 is halfway through the second bucket (1..2).
+	if got := bucketQuantile(bk, 0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("q0.75 = %v, want 1.5", got)
+	}
+	// Empty histogram → NaN.
+	if got := bucketQuantile([]BucketCount{{UpperBound: 1}}, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram quantile = %v, want NaN", got)
+	}
+	// All mass in the overflow bucket clamps to the highest finite bound.
+	over := []BucketCount{
+		{UpperBound: 1, Count: 0},
+		{UpperBound: math.Inf(1), Count: 5},
+	}
+	if got := bucketQuantile(over, 0.9); got != 1 {
+		t.Errorf("overflow quantile = %v, want 1", got)
+	}
+}
+
+// TestValidatePromRejects pins the checker's teeth: each malformed
+// exposition must fail.
+func TestValidatePromRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "cardopc_x 1\n",
+		"unknown type":        "# TYPE cardopc_x widget\ncardopc_x 1\n",
+		"bad metric name":     "# TYPE cardopc-x counter\n",
+		"bad value":           "# TYPE cardopc_x gauge\ncardopc_x banana\n",
+		"duplicate TYPE":      "# TYPE cardopc_x gauge\n# TYPE cardopc_x gauge\ncardopc_x 1\n",
+		"duplicate sample":    "# TYPE cardopc_x gauge\ncardopc_x 1\ncardopc_x 2\n",
+		"TYPE after sample":   "# TYPE cardopc_x gauge\ncardopc_x 1\n# TYPE cardopc_x counter\n",
+		"bucket without le":   "# TYPE cardopc_h histogram\ncardopc_h_bucket 1\ncardopc_h_sum 1\ncardopc_h_count 1\n",
+		"non-cumulative buckets": "# TYPE cardopc_h histogram\n" +
+			"cardopc_h_bucket{le=\"1\"} 5\ncardopc_h_bucket{le=\"2\"} 3\ncardopc_h_bucket{le=\"+Inf\"} 5\n" +
+			"cardopc_h_sum 1\ncardopc_h_count 5\n",
+		"missing +Inf bucket": "# TYPE cardopc_h histogram\n" +
+			"cardopc_h_bucket{le=\"1\"} 5\ncardopc_h_sum 1\ncardopc_h_count 5\n",
+		"+Inf != count": "# TYPE cardopc_h histogram\n" +
+			"cardopc_h_bucket{le=\"+Inf\"} 4\ncardopc_h_sum 1\ncardopc_h_count 5\n",
+		"malformed label": "# TYPE cardopc_x gauge\ncardopc_x{le=unquoted} 1\n",
+	}
+	for name, in := range cases {
+		if err := ValidateProm(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated clean, want error:\n%s", name, in)
+		}
+	}
+}
+
+// TestValidatePromAccepts: edge-case expositions that must pass.
+func TestValidatePromAccepts(t *testing.T) {
+	cases := map[string]string{
+		"NaN gauge":       "# TYPE cardopc_q gauge\ncardopc_q NaN\n",
+		"infinity gauge":  "# TYPE cardopc_q gauge\ncardopc_q +Inf\n",
+		"free comment":    "# scraped by test\n# TYPE cardopc_x counter\ncardopc_x 1\n",
+		"counter суффикс": "# TYPE cardopc_x_total counter\ncardopc_x_total 7\n",
+		"labels": "# TYPE cardopc_q gauge\n" +
+			"cardopc_q{quantile=\"0.5\"} 1\ncardopc_q{quantile=\"0.9\"} 2\n",
+	}
+	for name, in := range cases {
+		if err := ValidateProm(strings.NewReader(in)); err != nil {
+			t.Errorf("%s: %v\n%s", name, err, in)
+		}
+	}
+}
+
+// TestPromHandler: the HTTP surface serves the installed registry with
+// the exposition content type.
+func TestPromHandler(t *testing.T) {
+	st := &State{Metrics: NewRegistry()}
+	Setup(st)
+	defer Setup(nil)
+	st.Metrics.Counter("handler.test").Add(9)
+
+	rec := httptest.NewRecorder()
+	PromHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, PromContentType)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "cardopc_handler_test_total 9") {
+		t.Errorf("body missing counter:\n%s", body)
+	}
+	if err := ValidateProm(strings.NewReader(body)); err != nil {
+		t.Errorf("handler body invalid: %v", err)
+	}
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateProm checks a Prometheus text-format exposition for the
+// subset of the version 0.0.4 grammar this repo emits, standing in for
+// promtool (which would pull a dependency). It enforces:
+//
+//   - line grammar: "# HELP <name> <text>", "# TYPE <name> <type>",
+//     or "<name>[{labels}] <value>[ <timestamp>]"
+//   - metric and label names match the Prometheus regexes
+//   - each family declares TYPE at most once, before its samples, and
+//     samples appear only under a declared family (suffix-matched for
+//     histogram _bucket/_sum/_count and counter _total)
+//   - counter/gauge/histogram is one of the known types
+//   - histogram invariants: buckets carry an le label, counts are
+//     cumulative (non-decreasing), the final bucket is le="+Inf" and
+//     equals _count
+//   - values parse as Go floats (Inf/NaN spellings included)
+//   - no duplicate samples (same name + label set)
+//
+// It returns the first violation found, with its line number.
+func ValidateProm(r io.Reader) error {
+	metricName := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelName := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	sampleRE := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)( [0-9-]+)?$`)
+
+	types := map[string]string{} // family name -> declared type
+	seen := map[string]bool{}    // name+labels -> sample already emitted
+	sawSample := map[string]bool{}
+	type bucketState struct {
+		prev    float64 // previous cumulative count
+		last    float64 // most recent bucket count
+		infSeen bool
+		inf     float64
+	}
+	buckets := map[string]*bucketState{}
+	counts := map[string]float64{}
+
+	// family resolves a sample name to its declared TYPE family,
+	// stripping histogram/counter suffixes.
+	family := func(name string) (string, string, bool) {
+		if t, ok := types[name]; ok {
+			return name, t, true
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count", "_total"} {
+			base := strings.TrimSuffix(name, suf)
+			if base == name {
+				continue
+			}
+			if t, ok := types[base]; ok {
+				if suf == "_total" && t != "counter" {
+					continue
+				}
+				if suf != "_total" && t != "histogram" && t != "summary" {
+					continue
+				}
+				return base, t, true
+			}
+		}
+		return "", "", false
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				// Other comments are legal and ignored.
+				continue
+			}
+			name := fields[2]
+			if !metricName.MatchString(name) {
+				return fmt.Errorf("line %d: invalid metric name %q in %s", ln, name, fields[1])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE needs a type", ln)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", ln, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", ln, name)
+				}
+				if sawSample[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", ln, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", ln, line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		base, typ, ok := family(name)
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no TYPE declaration", ln, name)
+		}
+		sawSample[base] = true
+		sawSample[name] = true
+
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", ln, valStr, err)
+		}
+
+		le := ""
+		if labels != "" {
+			inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+			for _, pair := range splitLabels(inner) {
+				k, v, found := strings.Cut(pair, "=")
+				if !found || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					return fmt.Errorf("line %d: malformed label %q", ln, pair)
+				}
+				if !labelName.MatchString(k) {
+					return fmt.Errorf("line %d: invalid label name %q", ln, k)
+				}
+				if k == "le" {
+					le = v[1 : len(v)-1]
+				}
+			}
+		}
+
+		key := name + labels
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate sample %s", ln, key)
+		}
+		seen[key] = true
+
+		if typ == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", ln)
+				}
+				bs := buckets[base]
+				if bs == nil {
+					bs = &bucketState{}
+					buckets[base] = bs
+				}
+				if val < bs.prev {
+					return fmt.Errorf("line %d: bucket counts for %s not cumulative (%g < %g)", ln, base, val, bs.prev)
+				}
+				bs.prev = val
+				bs.last = val
+				if le == "+Inf" {
+					bs.infSeen = true
+					bs.inf = val
+				} else if bs.infSeen {
+					return fmt.Errorf("line %d: bucket after le=\"+Inf\" for %s", ln, base)
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("line %d: bad le bound %q", ln, le)
+				}
+			case strings.HasSuffix(name, "_count"):
+				counts[base] = val
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for base, bs := range buckets {
+		if !bs.infSeen {
+			return fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", base)
+		}
+		c, ok := counts[base]
+		if !ok {
+			return fmt.Errorf("histogram %s missing _count", base)
+		}
+		if math.Abs(bs.inf-c) > 0 {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", base, bs.inf, c)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits "a=\"x\",b=\"y\"" on commas outside quotes.
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	start, inQuote, esc := 0, false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\':
+			esc = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}

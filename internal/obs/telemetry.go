@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"sync"
@@ -10,18 +11,27 @@ import (
 // Record is one structured telemetry datum. Kind returns the value of
 // the record's "t" discriminator field so streams stay self-describing
 // when several record types interleave; Emit stamps it via the
-// embedded Tag before marshalling.
+// embedded Tag before marshalling. The Tag also carries the scope's
+// job label ("job"), stamped by Scope.Emit, so routing sinks can
+// attribute each line without re-parsing it.
 type Record interface {
 	Kind() string
 	setKind(string)
+	setJob(string)
+	jobID() string
 }
 
-// Tag is the "t" discriminator every record embeds.
+// Tag is the "t" discriminator (plus the scope's job label) every
+// record embeds.
 type Tag struct {
 	T string `json:"t"`
+	// Job is the emitting scope's job id; empty for ambient emission.
+	Job string `json:"job,omitempty"`
 }
 
 func (t *Tag) setKind(s string) { t.T = s }
+func (t *Tag) setJob(s string)  { t.Job = s }
+func (t *Tag) jobID() string    { return t.Job }
 
 // OPCIter is one CardOPC optimizer iteration (core.Optimizer.Step).
 type OPCIter struct {
@@ -77,9 +87,22 @@ func (*TileDone) Kind() string { return "bigopc.tile" }
 // Telemetry streams records as JSON Lines: one JSON object per line,
 // in emit order. Safe for concurrent emitters.
 type Telemetry struct {
-	mu  sync.Mutex
-	buf *bufio.Writer
-	enc *json.Encoder
+	mu    sync.Mutex
+	buf   *bufio.Writer
+	enc   *json.Encoder
+	route RecordRouter // router mode: lines dispatched per record
+	line  bytes.Buffer // router mode: reusable encode buffer
+}
+
+// RecordRouter receives each finished JSONL line together with the
+// emitting scope's job label, so a multiplexing sink (the cardopcd
+// event hub) can deliver the line to exactly the unit of work it
+// belongs to instead of broadcasting. line is only valid for the
+// duration of the call — copy it to retain. Calls are serialised under
+// the telemetry mutex and sit on the emit path of every instrumented
+// loop, so implementations must never block.
+type RecordRouter interface {
+	WriteRecord(job string, line []byte)
 }
 
 // NewTelemetry wraps w in a buffered JSONL encoder. Call Flush before
@@ -98,6 +121,16 @@ func NewTelemetryStream(w io.Writer) *Telemetry {
 	return &Telemetry{enc: json.NewEncoder(w)}
 }
 
+// NewTelemetryRouter encodes each record into an internal buffer and
+// hands the finished line, with the record's job label, to r — the
+// exact-attribution variant of NewTelemetryStream. The buffer is
+// reused across records; r must copy the line to retain it.
+func NewTelemetryRouter(r RecordRouter) *Telemetry {
+	t := &Telemetry{route: r}
+	t.enc = json.NewEncoder(&t.line)
+	return t
+}
+
 // Emit appends one record. Nil-safe; marshal errors are dropped (the
 // telemetry stream must never fail the run it observes).
 //
@@ -108,6 +141,14 @@ func (t *Telemetry) Emit(rec Record) {
 	}
 	rec.setKind(rec.Kind())
 	t.mu.Lock()
+	if t.route != nil {
+		t.line.Reset()
+		if err := t.enc.Encode(rec); err == nil {
+			t.route.WriteRecord(rec.jobID(), t.line.Bytes())
+		}
+		t.mu.Unlock()
+		return
+	}
 	_ = t.enc.Encode(rec) // Encode appends the newline JSONL needs
 	t.mu.Unlock()
 }

@@ -140,6 +140,7 @@ func trimFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 type Span struct {
 	st    *State
 	name  string
+	job   string // scope attribution, attached as a trace arg by End
 	track int
 	t0    time.Time
 }
@@ -190,6 +191,9 @@ func (s Span) End(args ...Arg) {
 	var dur time.Duration
 	if tr := s.st.Tracer; tr != nil {
 		dur = tr.now().Sub(s.t0)
+		if s.job != "" {
+			args = append(args, Arg{Key: "job", Val: s.job}) //cardopc:allow noalloc enabled-path only; the disabled span returned above
+		}
 		tr.add(s.name, s.track, s.t0, dur, args)
 	} else {
 		dur = time.Since(s.t0)

@@ -34,11 +34,14 @@ type Tracked struct {
 // ↔ field conversion), R-tree build/search (MRC neighbour queries),
 // spline evaluation (control-point connection), MRC resolve, the
 // cardopc-vet driver cold vs warm-cache (the CI gate's own latency),
-// and the cardopcd service round-trip (submit → poll → done on a warm
-// daemon, reporting req/s and p99-ms alongside ns/op).
+// scoped telemetry emission (the per-record price on cardopcd's emit
+// path, disabled and enabled), and the cardopcd service round-trip
+// (submit → poll → done on a warm daemon, reporting req/s and p99-ms
+// alongside ns/op).
 func TrackedSet() []Tracked {
 	return []Tracked{
 		{Pkg: "./internal/analysis", Pattern: "^(BenchmarkVetCold|BenchmarkVetWarm|BenchmarkVetDataflow|BenchmarkVetInterproc)$"},
+		{Pkg: "./internal/obs", Pattern: "^BenchmarkEmitScoped$"},
 		{Pkg: "./internal/fft", Pattern: "^(BenchmarkForward1024|BenchmarkForward2_256)$"},
 		{Pkg: "./internal/litho", Pattern: "^(BenchmarkAerial256|BenchmarkGradient256|BenchmarkAerialAll512)$"},
 		{Pkg: "./internal/raster", Pattern: "^(BenchmarkFillPolygon|BenchmarkMarchingSquares)$"},

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cardopc/internal/obs"
+)
+
+// eventLine is the union of the record fields the attribution tests
+// inspect.
+type eventLine struct {
+	T     string  `json:"t"`
+	Job   string  `json:"job"`
+	ID    string  `json:"id"`
+	Iter  int     `json:"iter"`
+	Loss  float64 `json:"loss"`
+	Count int     `json:"count"`
+}
+
+// readEvents drains a finished job's event stream into parsed lines.
+func readEvents(t *testing.T, ts *httptest.Server, id string) []eventLine {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var out []eventLine
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if raw == "" {
+			continue
+		}
+		var l eventLine
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("bad event line %q: %v", raw, err)
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// iterTrace extracts a job's (iter, loss) compute sequence.
+func iterTrace(lines []eventLine) [][2]float64 {
+	var seq [][2]float64
+	for _, l := range lines {
+		if l.T == "opc.iter" {
+			seq = append(seq, [2]float64{float64(l.Iter), l.Loss})
+		}
+	}
+	return seq
+}
+
+// TestConcurrentJobsExactAttribution is the multi-executor acceptance
+// check: with 4 executors and concurrent jobs, each job's event stream
+// contains only its own records — every line stamped with the job's
+// id, the opc.iter sequence complete and in order — and matches the
+// sequence a serial (single-executor) run of the same spec produces,
+// modulo timing fields.
+func TestConcurrentJobsExactAttribution(t *testing.T) {
+	// Distinct iteration counts make each job's compute fingerprint
+	// unique, so cross-contamination cannot hide.
+	iters := []int{3, 5, 7, 9}
+
+	runAll := func(workers int) map[int][][2]float64 {
+		_, ts := testServer(t, Config{ExecWorkers: workers})
+		views := make([]JobView, len(iters))
+		for i, n := range iters {
+			spec := tinySpec()
+			spec.Iters = n
+			views[i], _ = postJob(t, ts, spec)
+		}
+		traces := map[int][][2]float64{}
+		for i, v := range views {
+			if w := waitTerminal(t, ts, v.ID, 60*time.Second); w.Status != StatusDone {
+				t.Fatalf("job %s ended %s (%s)", v.ID, w.Status, w.Error)
+			}
+			lines := readEvents(t, ts, v.ID)
+			for _, l := range lines {
+				if l.Job != v.ID {
+					t.Fatalf("job %s stream contains line for %q: %+v", v.ID, l.Job, l)
+				}
+				if l.T == "job.status" && l.ID != v.ID {
+					t.Fatalf("job %s stream has status for %s", v.ID, l.ID)
+				}
+			}
+			seq := iterTrace(lines)
+			if len(seq) != iters[i] {
+				t.Fatalf("job %s (workers=%d): %d opc.iter records, want exactly %d",
+					v.ID, workers, len(seq), iters[i])
+			}
+			for k, p := range seq {
+				if int(p[0]) != k {
+					t.Fatalf("job %s iter sequence out of order at %d: %v", v.ID, k, seq)
+				}
+			}
+			traces[i] = seq
+		}
+		return traces
+	}
+
+	concurrent := runAll(4)
+	serial := runAll(1)
+	for i := range iters {
+		c, s := concurrent[i], serial[i]
+		if len(c) != len(s) {
+			t.Fatalf("spec %d: concurrent %d iters, serial %d", i, len(c), len(s))
+		}
+		for k := range c {
+			if c[k] != s[k] {
+				t.Errorf("spec %d iter %d: concurrent (iter,loss)=%v, serial %v", i, k, c[k], s[k])
+			}
+		}
+	}
+}
+
+// TestPerJobMetricsOverlay: a finished job's result carries its private
+// metrics snapshot with exactly its own compute counts, even while
+// other jobs run concurrently.
+func TestPerJobMetricsOverlay(t *testing.T) {
+	_, ts := testServer(t, Config{ExecWorkers: 4})
+
+	iters := []int{4, 6, 8}
+	views := make([]JobView, len(iters))
+	for i, n := range iters {
+		spec := tinySpec()
+		spec.Iters = n
+		views[i], _ = postJob(t, ts, spec)
+	}
+	for i, v := range views {
+		w := waitTerminal(t, ts, v.ID, 60*time.Second)
+		if w.Status != StatusDone {
+			t.Fatalf("job %s ended %s (%s)", v.ID, w.Status, w.Error)
+		}
+		if w.Result == nil || w.Result.Metrics == nil {
+			t.Fatalf("job %s result has no metrics overlay", v.ID)
+		}
+		if got := w.Result.Metrics.Counters["opc.iterations"]; got != int64(iters[i]) {
+			t.Errorf("job %s overlay opc.iterations = %d, want exactly %d (no bleed from concurrent jobs)",
+				v.ID, got, iters[i])
+		}
+		hit := w.Result.Metrics.Counters["litho.proc_cache.hit"]
+		miss := w.Result.Metrics.Counters["litho.proc_cache.miss"]
+		if hit+miss != 1 {
+			t.Errorf("job %s overlay cache lookups = %d hits + %d misses, want exactly 1", v.ID, hit, miss)
+		}
+	}
+}
+
+// TestEventsDroppedRecord: when the retention cap trims a job's log,
+// the replayed stream opens with one synthetic events.dropped record
+// whose count covers the discarded lines.
+func TestEventsDroppedRecord(t *testing.T) {
+	_, ts := testServer(t, Config{MaxEvents: 8})
+
+	spec := tinySpec()
+	spec.Iters = 40 // 40 opc.iter + 2 job.status >> cap of 8
+	v, _ := postJob(t, ts, spec)
+	if w := waitTerminal(t, ts, v.ID, 60*time.Second); w.Status != StatusDone {
+		t.Fatalf("job ended %s (%s)", w.Status, w.Error)
+	}
+	lines := readEvents(t, ts, v.ID)
+	if len(lines) != 9 { // 1 synthetic + 8 retained
+		t.Fatalf("got %d lines, want 9 (synthetic + cap):\n%+v", len(lines), lines)
+	}
+	first := lines[0]
+	if first.T != "events.dropped" || first.Job != v.ID {
+		t.Fatalf("first line = %+v, want events.dropped for %s", first, v.ID)
+	}
+	if want := 42 - 8; first.Count != want {
+		t.Errorf("events.dropped count = %d, want %d", first.Count, want)
+	}
+	for _, l := range lines[1:] {
+		if l.T == "events.dropped" {
+			t.Errorf("duplicate events.dropped record: %+v", l)
+		}
+	}
+}
+
+// TestPromMetricsEndpoint: /metrics serves a valid Prometheus
+// exposition with the server's counters; /metrics.json keeps the JSON
+// shape.
+func TestPromMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	v, _ := postJob(t, ts, tinySpec())
+	waitTerminal(t, ts, v.ID, 60*time.Second)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("content type %q, want %q", ct, obs.PromContentType)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if err := obs.ValidateProm(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics does not validate: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"cardopc_server_jobs_submitted_total",
+		"cardopc_opc_iterations_total",
+		"cardopc_server_job_ms_bucket",
+		"cardopc_server_job_ms_quantile",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}

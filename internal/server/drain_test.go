@@ -69,7 +69,9 @@ func TestDrainDeadlineCancelsStragglers(t *testing.T) {
 // one-slot queue occupied, the next submit gets 429 + Retry-After, and
 // the rejected job is not tracked.
 func TestQueueFullBackpressure(t *testing.T) {
-	_, ts := testServer(t, Config{QueueDepth: 1})
+	// One executor pinned: the test needs the hog to block all execution
+	// so the queue actually fills (the serving default is 2).
+	_, ts := testServer(t, Config{QueueDepth: 1, ExecWorkers: 1})
 
 	running, _ := postJob(t, ts, slowSpec())
 	waitRunning(t, ts, running.ID) // executor busy, queue empty
@@ -123,7 +125,9 @@ func TestPerJobTimeout(t *testing.T) {
 // TestCancelQueuedJob: cancelling before the executor picks the job up
 // marks it cancelled and the executor skips it.
 func TestCancelQueuedJob(t *testing.T) {
-	_, ts := testServer(t, Config{QueueDepth: 4})
+	// One executor pinned so the second job provably stays queued while
+	// the hog runs (the serving default is 2).
+	_, ts := testServer(t, Config{QueueDepth: 4, ExecWorkers: 1})
 
 	hog, _ := postJob(t, ts, slowSpec())
 	waitRunning(t, ts, hog.ID)

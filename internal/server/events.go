@@ -6,18 +6,20 @@ import (
 	"cardopc/internal/obs"
 )
 
-// The event plumbing: cardopcd installs an obs telemetry stream whose
-// sink is the eventHub, so every record the pipeline already emits
-// (opc.iter, bigopc.tile, …) plus the server's own job.status records
-// arrive here as finished JSONL lines. The hub fans each line out to
-// the event logs of the jobs running at that moment; /v1/jobs/{id}/events
-// replays a job's log and live-tails it until the job ends.
+// The event plumbing: cardopcd installs an obs telemetry stream in
+// router mode (obs.NewTelemetryRouter), so every record the pipeline
+// emits (opc.iter, bigopc.tile, …) plus the server's own job.status
+// records arrive here as finished JSONL lines *with the emitting
+// scope's job id*. The hub routes each line to exactly the job it
+// belongs to; /v1/jobs/{id}/events replays a job's log and live-tails
+// it until the job ends.
 //
-// Attribution is exact with one executor (the default): every record
-// emitted while job J runs belongs to J. With ExecWorkers > 1 the
-// compute records carry no job identity, so concurrent jobs see each
-// other's telemetry interleaved — the job.status records still carry
-// their job id.
+// Attribution is exact at any ExecWorkers: the executor wraps each job
+// in an obs.Scope carrying the job id, the scope stamps every record,
+// and the router delivers on the stamp — concurrent jobs never see
+// each other's telemetry. Records emitted outside any scope (there
+// should be none during serving) are counted and dropped rather than
+// misattributed.
 
 // JobStatusEvent is the server's own lifecycle record in the stream.
 type JobStatusEvent struct {
@@ -35,49 +37,61 @@ type JobStatusEvent struct {
 // Kind implements obs.Record.
 func (*JobStatusEvent) Kind() string { return "job.status" }
 
-// eventHub receives the telemetry byte stream and routes lines to the
-// running jobs' event logs. It implements io.Writer; obs.Telemetry
-// serialises writes, one complete JSONL line per call.
+// eventHub routes telemetry lines to per-job event logs. It implements
+// obs.RecordRouter; obs.Telemetry serialises calls, one complete JSONL
+// line per call, attributed by the emitting scope's job id.
 type eventHub struct {
-	mu      sync.Mutex
-	running map[*jobEvents]struct{}
+	mu           sync.Mutex
+	jobs         map[string]*jobEvents
+	unattributed int64 // scope-less lines dropped while jobs were live
 }
 
 func newEventHub() *eventHub {
-	return &eventHub{running: map[*jobEvents]struct{}{}}
+	return &eventHub{jobs: map[string]*jobEvents{}}
 }
 
-// attach registers a job's event log as live.
-func (h *eventHub) attach(e *jobEvents) {
+// register makes a job's event log routable under its id.
+func (h *eventHub) register(id string, e *jobEvents) {
 	h.mu.Lock()
-	h.running[e] = struct{}{}
+	h.jobs[id] = e
 	h.mu.Unlock()
 }
 
-// detach removes a job's event log.
-func (h *eventHub) detach(e *jobEvents) {
+// unregister removes a job's routing entry.
+func (h *eventHub) unregister(id string) {
 	h.mu.Lock()
-	delete(h.running, e)
+	delete(h.jobs, id)
 	h.mu.Unlock()
 }
 
-// Write fans one JSONL line out to every live job log. The line is
-// copied once; logs share the copy (they never mutate it). It sits on
-// the obs emit path of every running job, so it must never block —
-// enforced transitively through jobEvents.append.
+// WriteRecord implements obs.RecordRouter: deliver one JSONL line to
+// the event log of the job it is stamped with. The line is owned by
+// the caller's reusable buffer, so it is copied before retention.
+// Lines with no job stamp, or stamped with a job no longer routable,
+// are dropped (counted — never misattributed). It sits on the obs emit
+// path of every running job, so it must never block — enforced
+// transitively through jobEvents.append.
 //
 //cardopc:nonblocking
-func (h *eventHub) Write(p []byte) (int, error) {
+func (h *eventHub) WriteRecord(job string, p []byte) {
 	h.mu.Lock()
-	if len(h.running) > 0 {
-		line := make([]byte, len(p))
-		copy(line, p)
-		for e := range h.running {
-			e.append(line)
-		}
+	e := h.jobs[job]
+	if e == nil {
+		h.unattributed++
+		h.mu.Unlock()
+		return
 	}
 	h.mu.Unlock()
-	return len(p), nil
+	line := make([]byte, len(p))
+	copy(line, p)
+	e.append(line)
+}
+
+// Unattributed returns the number of dropped scope-less lines.
+func (h *eventHub) Unattributed() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.unattributed
 }
 
 // jobEvents is one job's retained event log plus its live subscribers.
@@ -126,9 +140,12 @@ func (e *jobEvents) close() {
 }
 
 // from returns the lines at absolute index >= off (absolute = including
-// dropped lines), the next absolute index, whether the stream is
-// closed, and a channel that closes on the next change.
-func (e *jobEvents) from(off int) (lines [][]byte, next int, closed bool, changed <-chan struct{}) {
+// dropped lines), the next absolute index, the total number of dropped
+// lines so far (so tailers can detect a gap: dropped > off means
+// dropped-off lines between off and the returned lines were discarded),
+// whether the stream is closed, and a channel that closes on the next
+// change.
+func (e *jobEvents) from(off int) (lines [][]byte, next, dropped int, closed bool, changed <-chan struct{}) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	start := off - e.dropped
@@ -138,7 +155,7 @@ func (e *jobEvents) from(off int) (lines [][]byte, next int, closed bool, change
 	if start < len(e.lines) {
 		lines = e.lines[start:]
 	}
-	return lines, e.dropped + len(e.lines), e.closed, e.notify
+	return lines, e.dropped + len(e.lines), e.dropped, e.closed, e.notify
 }
 
 // Len returns the number of retained lines.

@@ -8,6 +8,7 @@ import (
 	"cardopc/internal/cli"
 	"cardopc/internal/geom"
 	"cardopc/internal/layout"
+	"cardopc/internal/obs"
 )
 
 // JobSpec is the submit-time description of one correction job, as
@@ -121,6 +122,12 @@ type JobResult struct {
 	// MaskPolys holds the corrected outlines when the spec asked for
 	// them, in the same [poly][vertex][x, y] shape as JobSpec.Targets.
 	MaskPolys [][][2]float64 `json:"mask_polys,omitempty"`
+	// Metrics is the job's private metrics overlay: every counter,
+	// gauge and histogram the compute recorded through the job's scope,
+	// snapshotted at completion. Exact per-job attribution even with
+	// concurrent executors — the process-wide registry only has
+	// aggregates.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Status is a job's lifecycle state.

@@ -18,8 +18,11 @@ import (
 )
 
 // execute runs one accepted job on an executor goroutine: deadline,
-// event routing, panic isolation and the final status transition all
-// live here.
+// scope + event routing, panic isolation and the final status
+// transition all live here. Every record the job's compute emits goes
+// through the obs.Scope built here, so the event hub can route it to
+// this job exactly even with concurrent executors; the scope's overlay
+// registry becomes the per-job metrics snapshot in the result.
 func (s *Server) execute(j *Job) {
 	if j.statusNow() != StatusQueued {
 		// Cancelled while queued; nothing to run.
@@ -32,11 +35,15 @@ func (s *Server) execute(j *Job) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 
+	reg := obs.NewRegistry()
+	sc := obs.ScopeFor(j.id).WithRegistry(reg)
+	ctx = obs.ContextWithScope(ctx, sc)
+
 	j.setRunning(cancel)
-	s.hub.attach(j.events)
+	s.hub.register(j.id, j.events)
 	obs.C("server.jobs.started").Inc()
 	obs.G("server.jobs.running").Add(1)
-	obs.Emit(&JobStatusEvent{ID: j.id, Status: StatusRunning})
+	sc.Emit(&JobStatusEvent{ID: j.id, Status: StatusRunning})
 	t0 := time.Now()
 
 	res, err := s.runSpec(ctx, j.spec)
@@ -49,13 +56,17 @@ func (s *Server) execute(j *Job) {
 		st, msg = StatusFailed, err.Error()
 	}
 	durMS := time.Since(t0).Seconds() * 1e3
-	obs.Emit(&JobStatusEvent{ID: j.id, Status: st, Err: msg, DurMS: durMS})
+	sc.Emit(&JobStatusEvent{ID: j.id, Status: st, Err: msg, DurMS: durMS})
 	obs.G("server.jobs.running").Add(-1)
 	obs.C("server.jobs." + string(st)).Inc()
 	obs.H("server.job.ms").Observe(durMS)
-	// Detach before finishing so late stragglers from other jobs do not
-	// land in a closed log; then close the event stream so tailers end.
-	s.hub.detach(j.events)
+	if res != nil {
+		snap := reg.Snapshot()
+		res.Metrics = &snap
+	}
+	// Unregister before finishing so nothing lands in a closed log; then
+	// close the event stream so tailers end.
+	s.hub.unregister(j.id)
 	j.finish(st, res, msg)
 	j.events.close()
 }
@@ -125,7 +136,7 @@ func (s *Server) runClip(ctx context.Context, spec JobSpec) (*JobResult, error) 
 		return nil, err
 	}
 
-	proc := s.procs.Get(lcfg, litho.DefaultCorners())
+	proc := s.procs.GetScoped(obs.ScopeFromContext(ctx), lcfg, litho.DefaultCorners())
 	opt := core.NewOptimizer(proc.Nominal, clip.Targets, cfg)
 	res, err := opt.RunContext(ctx)
 	if err != nil {
@@ -186,7 +197,7 @@ func (s *Server) runILT(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		cfg.Iterations = spec.Iters
 	}
 
-	sim := s.procs.Get(lcfg, litho.DefaultCorners()).Nominal
+	sim := s.procs.GetScoped(obs.ScopeFromContext(ctx), lcfg, litho.DefaultCorners()).Nominal
 	g := sim.Grid()
 	target := raster.Rasterize(g, clip.Targets, 2)
 	for i, v := range target.Data {
@@ -240,7 +251,7 @@ func (s *Server) runBigopc(ctx context.Context, spec JobSpec) (*JobResult, error
 		Litho:   lcfg,
 		Workers: spec.Workers,
 		// Warm-state hook: image through the cached kernel set.
-		Sim: s.procs.Get(lcfg, litho.DefaultCorners()).Nominal,
+		Sim: s.procs.GetScoped(obs.ScopeFromContext(ctx), lcfg, litho.DefaultCorners()).Nominal,
 	}
 	if bcfg.TileNM == 0 {
 		bcfg.TileNM = 2000

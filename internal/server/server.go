@@ -14,7 +14,8 @@
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/events JSONL event stream (live tail)
 //	GET    /healthz             readiness; flips to 503 "draining" on SIGTERM
-//	GET    /metrics             obs counter/gauge/histogram snapshot
+//	GET    /metrics             Prometheus text-format exposition
+//	GET    /metrics.json        server state + obs registry snapshot (JSON)
 //	GET    /debug/pprof/…       net/http/pprof (shared mux, obs.RegisterDebug)
 //	GET    /debug/vars          expvar bridge
 package server
@@ -37,9 +38,11 @@ type Config struct {
 	// QueueDepth bounds the submission queue (default 64). A full queue
 	// answers 429 + Retry-After.
 	QueueDepth int
-	// ExecWorkers is the number of concurrent job executors (default 1:
-	// each job already fans out across every core inside litho, and a
-	// single executor keeps the telemetry stream attributable per job).
+	// ExecWorkers is the number of concurrent job executors (default 2).
+	// Telemetry stays attributable per job at any worker count: every
+	// record is stamped with its job id by the executor's obs.Scope and
+	// routed on the stamp. Each job still fans out across cores inside
+	// litho, so workers trade per-job latency for queue throughput.
 	ExecWorkers int
 	// JobTimeout is the default per-job deadline (default 5 min).
 	JobTimeout time.Duration
@@ -56,7 +59,7 @@ func (c Config) withDefaults() Config {
 		c.QueueDepth = 64
 	}
 	if c.ExecWorkers <= 0 {
-		c.ExecWorkers = 1
+		c.ExecWorkers = 2
 	}
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 5 * time.Minute
@@ -105,7 +108,7 @@ func New(cfg Config) *Server {
 	}
 	s.state = &obs.State{
 		Metrics:   obs.NewRegistry(),
-		Telemetry: obs.NewTelemetryStream(s.hub),
+		Telemetry: obs.NewTelemetryRouter(s.hub),
 	}
 	obs.Setup(s.state)
 
@@ -115,7 +118,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /metrics", obs.PromHandler())
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetrics)
 	obs.RegisterDebug(s.mux)
 
 	s.queue.start(cfg.ExecWorkers, s.execute)
@@ -293,6 +297,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams the job's JSONL event log: replay, then live
 // tail until the job reaches a terminal state or the client goes away.
+// When the retention cap discarded lines the client would have seen —
+// replay starting before the retained window, or a slow tailer falling
+// behind a fast producer — one synthetic events.dropped record with
+// the gap size is emitted in their place, so consumers can tell a
+// trimmed stream from a complete one.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
@@ -304,7 +313,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	off := 0
 	for {
-		lines, next, closed, changed := j.events.from(off)
+		lines, next, dropped, closed, changed := j.events.from(off)
+		if gap := dropped - off; gap > 0 {
+			if _, err := fmt.Fprintf(w, "{\"t\":\"events.dropped\",\"job\":%q,\"count\":%d}\n", j.id, gap); err != nil {
+				return
+			}
+		}
 		for _, line := range lines {
 			if _, err := w.Write(line); err != nil {
 				return
@@ -348,9 +362,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, h)
 }
 
-// metricsJSON is the /metrics body: server-level state plus the full
-// obs registry snapshot (the same data the expvar bridge exposes,
-// shaped for the CI smoke and the load-test harness).
+// metricsJSON is the /metrics.json body: server-level state plus the
+// full obs registry snapshot (the same data the expvar bridge exposes,
+// shaped for the CI smoke and the load-test harness; scrapers use the
+// Prometheus exposition at /metrics instead).
 type metricsJSON struct {
 	State      string         `json:"state"`
 	QueueDepth int            `json:"queue_depth"`

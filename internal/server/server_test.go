@@ -299,7 +299,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatalf("healthz: %d %+v", resp.StatusCode, h)
 	}
 
-	resp, err = http.Get(ts.URL + "/metrics")
+	resp, err = http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

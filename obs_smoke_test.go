@@ -2,9 +2,11 @@ package cardopc
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cardopc/internal/bigopc"
@@ -13,6 +15,7 @@ import (
 	"cardopc/internal/geom"
 	"cardopc/internal/layout"
 	"cardopc/internal/litho"
+	"cardopc/internal/obs"
 )
 
 // TestObservabilitySmoke is the end-to-end check of the observability
@@ -58,6 +61,11 @@ func TestObservabilitySmoke(t *testing.T) {
 		t.Fatalf("bigopc.Run: %v", err)
 	}
 
+	// While the obs state is still installed, the live registry must
+	// render as a valid Prometheus exposition — the same surface
+	// ServeDebug and cardopcd serve at /metrics.
+	checkProm(t)
+
 	if err := run.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -65,6 +73,31 @@ func TestObservabilitySmoke(t *testing.T) {
 	checkTrace(t, opts.Trace)
 	checkTelemetry(t, opts.MetricsOut)
 	checkReport(t, opts.Report)
+}
+
+// checkProm validates the Prometheus exposition of the live run:
+// parses clean under the repo's format checker and carries the
+// counters the run just incremented.
+func checkProm(t *testing.T) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.Metrics().WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := buf.String()
+	if err := obs.ValidateProm(strings.NewReader(out)); err != nil {
+		t.Fatalf("/metrics exposition does not validate: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"cardopc_opc_iterations_total",
+		"cardopc_bigopc_tiles_done_total",
+		"cardopc_span_opc_step_ms_bucket",
+		"cardopc_span_opc_step_ms_quantile",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
 }
 
 // checkTrace validates the Chrome trace-event file: loadable JSON of the

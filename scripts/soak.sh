@@ -10,9 +10,11 @@
 #   outdir       artifact directory (default soak-out)
 #
 # Artifacts: cardopcd.log, loadtest.json, profile.pb.gz, flame.svg,
-# metrics.json, summary.md. Exit non-zero when the load test saw
-# errors/failures, the profile could not be captured, or the daemon did
-# not drain cleanly.
+# metrics.json (JSON snapshot from /metrics.json), metrics.prom
+# (Prometheus exposition from /metrics, validated with cmd/promcheck),
+# summary.md. Exit non-zero when the load test saw errors/failures, the
+# profile could not be captured, the exposition failed validation, or
+# the daemon did not drain cleanly.
 set -euo pipefail
 
 DURATION="${1:-60s}"
@@ -35,7 +37,8 @@ profile_secs=$(( secs > 10 ? secs - 5 : secs / 2 ))
 
 mkdir -p "$OUT"
 rm -f "$OUT"/cardopcd.log "$OUT"/loadtest.json "$OUT"/profile.pb.gz \
-      "$OUT"/flame.svg "$OUT"/metrics.json "$OUT"/summary.md
+      "$OUT"/flame.svg "$OUT"/metrics.json "$OUT"/metrics.prom \
+      "$OUT"/summary.md
 
 echo "soak: building cardopcd"
 go build -o "$OUT/cardopcd" ./cmd/cardopcd
@@ -74,7 +77,9 @@ fi
 gunzip -t "$OUT/profile.pb.gz" 2>/dev/null || true
 test -s "$OUT/profile.pb.gz"
 
-curl -fsS "$URL/metrics" >"$OUT/metrics.json"
+curl -fsS "$URL/metrics.json" >"$OUT/metrics.json"
+curl -fsS "$URL/metrics" >"$OUT/metrics.prom"
+go run ./cmd/promcheck "$OUT/metrics.prom"
 
 echo "soak: rendering flame graph"
 if command -v dot >/dev/null 2>&1; then
@@ -122,6 +127,7 @@ print(m["metrics"]["counters"].get("litho.build_kernels", "absent"))
 EOF
 )\` (warm cache ⇒ flat at the distinct-config count)"
   echo "- profile: profile.pb.gz ($(wc -c <"$OUT/profile.pb.gz") bytes), flame graph: $( [ -f "$OUT/flame.svg" ] && echo flame.svg || echo "not rendered" )"
+  echo "- metrics: metrics.prom ($(grep -c '^cardopc_' "$OUT/metrics.prom") samples, promcheck clean) + metrics.json snapshot"
   echo "- drain: clean"
 } >"$OUT/summary.md"
 cat "$OUT/summary.md"
