@@ -17,6 +17,7 @@ import (
 
 	"cardopc/internal/cli"
 	"cardopc/internal/core"
+	"cardopc/internal/fft"
 	"cardopc/internal/fracture"
 	"cardopc/internal/gds"
 	"cardopc/internal/geom"
@@ -146,8 +147,10 @@ func main() {
 func report(proc *litho.Process, maskPolys, targets []geom.Polygon, spacing float64, rep *obs.Report) {
 	g := proc.Nominal.Grid()
 	mask := raster.Rasterize(g, maskPolys, 4)
-	mf := litho.MaskFreq(mask)
+	mf := fft.GetGrid(mask.Size, mask.Size)
+	litho.MaskFreqInto(mf, mask)
 	nomA, innerA, outerA := proc.AerialAllFromFreq(mf)
+	fft.PutGrid(mf)
 	ith := proc.Nominal.Config().Threshold
 
 	probes := metrics.ProbesForLayout(targets, spacing)

@@ -21,6 +21,22 @@ import (
 	"cardopc/internal/render"
 )
 
+// imagingConfig resolves the raster/imaging flags into a validated
+// litho.Config. The flag values are validated as given — no
+// WithDefaults: -dose defaults to 1, so a literal -dose 0 is a user
+// error that must fail here instead of imaging all-dark.
+func imagingConfig(gridSize int, pitch, defocus, dose float64) (litho.Config, error) {
+	lcfg := litho.DefaultConfig()
+	lcfg.GridSize = gridSize
+	lcfg.PitchNM = pitch
+	lcfg.DefocusNM = defocus
+	lcfg.Dose = dose
+	if err := lcfg.Validate(); err != nil {
+		return litho.Config{}, err
+	}
+	return lcfg, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lithosim: ")
@@ -57,12 +73,10 @@ func main() {
 	}()
 	rep := run.Report()
 
-	lcfg := litho.DefaultConfig()
-	lcfg.GridSize = *gridSize
-	lcfg.PitchNM = *pitch
-	lcfg.DefocusNM = *defocus
-	lcfg.Dose = *dose
-
+	lcfg, err := imagingConfig(*gridSize, *pitch, *defocus, *dose)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sim := litho.NewSimulator(lcfg)
 	fmt.Printf("testcase %s: %d shapes over %.0f nm, %d SOCS kernels\n",
 		clip.Name, len(clip.Targets), clip.SizeNM, sim.NumKernels())

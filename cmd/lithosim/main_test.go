@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestImagingConfigRejectsZeroDose(t *testing.T) {
+	// An explicit -dose 0 is a user error, not "use the default": the
+	// config must fail validation instead of silently imaging all-dark.
+	if _, err := imagingConfig(512, 4, 0, 0); err == nil {
+		t.Fatal("dose 0 passed validation")
+	} else if !strings.Contains(err.Error(), "dose") {
+		t.Errorf("error %q does not mention the dose", err)
+	}
+}
+
+func TestImagingConfigAcceptsFlagDefaults(t *testing.T) {
+	cfg, err := imagingConfig(512, 4, 0, 1)
+	if err != nil {
+		t.Fatalf("flag defaults rejected: %v", err)
+	}
+	if cfg.Dose != 1 || cfg.GridSize != 512 {
+		t.Errorf("config = %+v", cfg)
+	}
+}

@@ -8,7 +8,7 @@ import (
 
 // PoolCheck enforces the pooled-buffer lifetime discipline the PR 5 hot
 // path depends on. Values acquired from the fft pools — GetGrid,
-// GetWorkspace, NewForwardCache — are manually managed: every acquire
+// GetWorkspace, GetHalf, NewForwardCache — are manually managed: every acquire
 // must reach a matching PutGrid/Release on every exit path, must not be
 // released twice, must not be used after release, and must not leak out
 // of the acquiring function unnoticed.
@@ -17,9 +17,9 @@ import (
 // per function, tracking each acquired local through branches with a
 // small may-bitset (live/released/escaped/deferred). Matching is
 // name-based — any call to a function or method named GetGrid,
-// GetWorkspace or NewForwardCache acquires; PutGrid(x) or a zero-arg
-// x.Release() releases — so fixtures and future pools are covered
-// without hard-coding package paths.
+// GetWorkspace, GetHalf or NewForwardCache acquires; PutGrid(x) or a
+// zero-arg x.Release() releases — so fixtures and future pools are
+// covered without hard-coding package paths.
 //
 // Since the interprocedural layer (callgraph.go, summary.go) the
 // analyzer also sees through calls: a function returning a live pooled
@@ -59,6 +59,7 @@ var PoolCheck = &Analyzer{
 var poolAcquireNames = map[string]bool{
 	"GetGrid":         true,
 	"GetWorkspace":    true,
+	"GetHalf":         true,
 	"NewForwardCache": true,
 }
 
@@ -392,8 +393,11 @@ func (pc *poolChecker) assignOne(lhs, rhs ast.Expr, st poolState) {
 					return
 				case *ast.IndexExpr:
 					// Blessed hand-off: the slice owner drains and
-					// releases (litho worker pattern).
-					f.bits |= poolEscaped
+					// releases (litho worker pattern). Ownership moves
+					// wholesale, so the local drops its live obligation
+					// — a loop may re-acquire into the same local on the
+					// next iteration.
+					f.bits = (f.bits &^ poolLive) | poolEscaped
 					st[obj] = f
 					pc.uses(l.X, st)
 					pc.uses(l.Index, st)

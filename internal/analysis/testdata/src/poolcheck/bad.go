@@ -12,6 +12,8 @@ type Workspace struct{ Acc []float64 }
 
 type Cache struct{}
 
+type Half struct{ FullW int }
+
 func GetGrid(h, w int) *Grid { return &Grid{} }
 
 func PutGrid(g *Grid) {}
@@ -24,7 +26,13 @@ func NewForwardCache() *Cache { return &Cache{} }
 
 func (c *Cache) Release() {}
 
+func GetHalf(w, h int) *Half { return &Half{} }
+
+func (h *Half) Release() {}
+
 func use(g *Grid) {}
+
+func useHalf(h *Half) {}
 
 var errFail error
 
@@ -61,6 +69,27 @@ func doubleWorkspaceRelease(n int) {
 	ws := GetWorkspace(n, n)
 	ws.Release()
 	ws.Release() // want "released twice"
+}
+
+func leakHalf(n int, fail bool) error {
+	hs := GetHalf(n, n) // want "not released on every exit path"
+	if fail {
+		return errFail
+	}
+	hs.Release()
+	return nil
+}
+
+func doubleHalfRelease(n int) {
+	hs := GetHalf(n, n)
+	hs.Release()
+	hs.Release() // want "released twice"
+}
+
+func useAfterHalfRelease(n int) {
+	hs := GetHalf(n, n)
+	hs.Release()
+	useHalf(hs) // want "used after release"
 }
 
 func useAfterPut(n int) {

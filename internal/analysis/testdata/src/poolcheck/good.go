@@ -40,6 +40,25 @@ func deferredClosureRelease(n int) {
 	use(g)
 }
 
+// halfSpectrumPattern is the rfft2 hot path (litho.MaskFreqInto):
+// acquire the pooled half-spectrum, transform into it, expand to the
+// full grid, release.
+func halfSpectrumPattern(n int) {
+	hs := GetHalf(n, n)
+	useHalf(hs)
+	hs.Release()
+}
+
+func deferredHalfRelease(n int, fail bool) error {
+	hs := GetHalf(n, n)
+	defer hs.Release()
+	if fail {
+		return errFail
+	}
+	useHalf(hs)
+	return nil
+}
+
 func bothBranchesRelease(n int, flip bool) {
 	g := GetGrid(n, n)
 	if flip {
@@ -95,6 +114,19 @@ func workerHandOff(n, workers int) {
 		_ = ws.Acc
 		ws.Release()
 	}
+}
+
+// loopHandOff acquires into a fresh local each iteration and hands the
+// value to the slice owner: the hand-off ends the local's obligation, so
+// the back-edge re-acquire is clean (the BatchAerialAll spectrum loop).
+func loopHandOff(n, b int) []*Grid {
+	mfs := make([]*Grid, b)
+	for i := 0; i < b; i++ {
+		g := GetGrid(n, n)
+		use(g)
+		mfs[i] = g
+	}
+	return mfs
 }
 
 // borrowedByCallback lends the grid to a synchronously-invoked closure;

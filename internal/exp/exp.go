@@ -19,6 +19,7 @@ import (
 
 	"cardopc/internal/baseline"
 	"cardopc/internal/core"
+	"cardopc/internal/fft"
 	"cardopc/internal/geom"
 	"cardopc/internal/layout"
 	"cardopc/internal/litho"
@@ -154,8 +155,10 @@ type Eval struct {
 func evaluate(proc *litho.Process, maskPolys, targets []geom.Polygon, probeSpacing float64) Eval {
 	g := proc.Nominal.Grid()
 	mask := raster.Rasterize(g, maskPolys, 4)
-	mf := litho.MaskFreq(mask)
+	mf := fft.GetGrid(mask.Size, mask.Size)
+	litho.MaskFreqInto(mf, mask)
 	nomA, innerA, outerA := proc.AerialAllFromFreq(mf)
+	fft.PutGrid(mf)
 
 	ith := proc.Nominal.Config().Threshold
 	probes := metrics.ProbesForLayout(targets, probeSpacing)

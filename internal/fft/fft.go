@@ -15,6 +15,7 @@ import (
 	"math/bits"
 
 	"sync"
+	"sync/atomic"
 
 	"cardopc/internal/obs"
 )
@@ -39,19 +40,28 @@ type plan struct {
 	// tw holds e^{-2πi k/n} for k in [0, n/2); twInv its conjugate.
 	tw    []complex128
 	twInv []complex128
+	// lastUse is the planClock stamp of the most recent getPlan hit,
+	// driving least-recently-used eviction.
+	lastUse atomic.Int64
 }
 
 // maxPlans bounds the plan cache. Transform lengths are powers of two,
 // so at most ~60 distinct sizes can ever exist; the cap guards the
 // degenerate case of a caller cycling through many sizes (varying tile
-// grids) so the map cannot grow without bound. Eviction drops an
-// arbitrary entry — a plan is O(n) to rebuild and evicted plans stay
-// valid for holders of the pointer.
+// grids) so the map cannot grow without bound. Eviction is
+// least-recently-used: every getPlan stamps the plan with a monotonic
+// clock and a full cache drops the stalest entry, so cycling through
+// many one-off sizes can never evict the hot steady-state plan. (The
+// previous scheme deleted whichever entry map iteration yielded first
+// — nondeterministic, and as likely to hit the hottest plan as a cold
+// one.) Evicted plans stay valid for holders of the pointer; rebuild
+// is O(n).
 const maxPlans = 16
 
 var (
-	planMu sync.RWMutex
-	plans  = map[int]*plan{}
+	planMu    sync.RWMutex
+	plans     = map[int]*plan{}
+	planClock atomic.Int64
 )
 
 func getPlan(n int) *plan {
@@ -59,11 +69,13 @@ func getPlan(n int) *plan {
 	p, ok := plans[n]
 	planMu.RUnlock()
 	if ok {
+		p.lastUse.Store(planClock.Add(1))
 		return p
 	}
 	planMu.Lock()
 	defer planMu.Unlock()
 	if p, ok = plans[n]; ok {
+		p.lastUse.Store(planClock.Add(1))
 		return p
 	}
 	p = &plan{n: n}
@@ -80,13 +92,26 @@ func getPlan(n int) *plan {
 		p.twInv[k] = complex(real(p.tw[k]), -imag(p.tw[k]))
 	}
 	if len(plans) >= maxPlans {
-		for k := range plans {
-			delete(plans, k)
-			break
-		}
+		evictLRUPlanLocked()
 	}
+	p.lastUse.Store(planClock.Add(1))
 	plans[n] = p
 	return p
+}
+
+// evictLRUPlanLocked drops the least-recently-used plan. Caller holds
+// planMu for writing. Stamps are unique (monotonic counter), so the
+// victim — and therefore the whole eviction order — is deterministic
+// for a deterministic access sequence.
+func evictLRUPlanLocked() {
+	var victim int
+	oldest := int64(math.MaxInt64)
+	for k, p := range plans {
+		if u := p.lastUse.Load(); u < oldest {
+			oldest, victim = u, k
+		}
+	}
+	delete(plans, victim)
 }
 
 // planCount reports the live plan-cache size (test hook).
@@ -94,6 +119,25 @@ func planCount() int {
 	planMu.RLock()
 	defer planMu.RUnlock()
 	return len(plans)
+}
+
+// planSizes reports the resident plan sizes, unordered (test hook).
+func planSizes() map[int]bool {
+	planMu.RLock()
+	defer planMu.RUnlock()
+	out := make(map[int]bool, len(plans))
+	for k := range plans {
+		out[k] = true
+	}
+	return out
+}
+
+// resetPlans empties the plan cache (test hook): eviction tests need a
+// known starting population.
+func resetPlans() {
+	planMu.Lock()
+	plans = map[int]*plan{}
+	planMu.Unlock()
 }
 
 // Forward computes the in-place forward DFT of x. len(x) must be a power of

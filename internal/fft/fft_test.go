@@ -367,3 +367,74 @@ func BenchmarkForward2_256(b *testing.B) {
 		Forward2(g)
 	}
 }
+
+// touchPlan exercises the plan cache for length n without the cost of a
+// real transform being the point.
+func touchPlan(n int) {
+	Forward(make([]complex128, n))
+}
+
+func TestPlanEvictionLRU(t *testing.T) {
+	// Cycling through more sizes than maxPlans must keep the most
+	// recently used plans and evict in strict least-recently-used order.
+	defer resetPlans()
+	resetPlans()
+
+	// Fill the cache: sizes 2^1 .. 2^maxPlans, oldest first.
+	for p := 1; p <= maxPlans; p++ {
+		touchPlan(1 << p)
+	}
+	if n := planCount(); n != maxPlans {
+		t.Fatalf("cache holds %d plans after filling, want %d", n, maxPlans)
+	}
+
+	// Refresh the oldest entry, then overflow: the eviction must take
+	// 2^2 (now the stalest), not the freshly refreshed 2^1.
+	touchPlan(1 << 1)
+	touchPlan(1 << (maxPlans + 1))
+	got := planSizes()
+	if !got[1<<1] {
+		t.Error("refreshed plan 2^1 was evicted; LRU must keep it")
+	}
+	if got[1<<2] {
+		t.Error("stalest plan 2^2 survived the eviction")
+	}
+	if !got[1<<(maxPlans+1)] {
+		t.Error("newly inserted plan missing")
+	}
+
+	// Overflowing repeatedly evicts in insertion order: 2^3, 2^4, ...
+	for i := 2; i <= 4; i++ {
+		touchPlan(1 << (maxPlans + i))
+		if sizes := planSizes(); sizes[1<<(i+1)] {
+			t.Errorf("plan 2^%d survived; expected LRU eviction order 2^3, 2^4, ...", i+1)
+		}
+	}
+}
+
+func TestPlanEvictionReproducible(t *testing.T) {
+	// The same access sequence leaves the same resident set — eviction
+	// must not depend on map iteration order.
+	defer resetPlans()
+	run := func() map[int]bool {
+		resetPlans()
+		for p := 1; p <= maxPlans+5; p++ {
+			touchPlan(1 << p)
+		}
+		touchPlan(1 << 3) // miss: already evicted, re-inserted, evicting another
+		touchPlan(1 << 7)
+		return planSizes()
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("trial %d: %d resident plans, want %d", trial, len(again), len(first))
+		}
+		for k := range first {
+			if !again[k] {
+				t.Fatalf("trial %d: plan %d missing from resident set", trial, k)
+			}
+		}
+	}
+}

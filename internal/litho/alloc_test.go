@@ -67,6 +67,51 @@ func TestAerialWithCacheIntoSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+func TestBatchAerialIntoSteadyStateAllocs(t *testing.T) {
+	s := NewSimulator(testConfig())
+	masks := batchMasks(s.Grid(), 3)
+	mfs := make([]*fft.Grid2, len(masks))
+	outs := make([]*raster.Field, len(masks))
+	for i, mask := range masks {
+		mfs[i] = MaskFreq(mask)
+		outs[i] = raster.NewField(s.Grid())
+	}
+	s.BatchAerialInto(outs, mfs) // warm the pools (and the batch accumulators)
+	// The batched sweep carries slightly more fixed bookkeeping than one
+	// aerial call (the per-worker accumulator views), but still nothing
+	// per-pixel or per-member-per-kernel.
+	const batchAllocBudget = steadyStateAllocBudget + 100
+	if n := testing.AllocsPerRun(5, func() { s.BatchAerialInto(outs, mfs) }); n > batchAllocBudget {
+		t.Errorf("BatchAerialInto allocates %.0f objects/op, budget %d", n, batchAllocBudget)
+	}
+}
+
+func TestPrintedSteadyStateAllocs(t *testing.T) {
+	// Printed's aerial image lives in pooled scratch; per call it may
+	// allocate only the returned binary plus the usual fan-out
+	// bookkeeping.
+	s := NewSimulator(testConfig())
+	mask := maskWithRect(s.Grid(), geom.Rect{Min: geom.P(874, 874), Max: geom.P(1174, 1174)})
+	s.Printed(mask)
+	if n := testing.AllocsPerRun(5, func() { s.Printed(mask) }); n > steadyStateAllocBudget {
+		t.Errorf("Printed allocates %.0f objects/op, budget %d", n, steadyStateAllocBudget)
+	}
+}
+
+func TestContoursSteadyStateAllocs(t *testing.T) {
+	// Contours allocates the returned geometry and marching-squares
+	// bookkeeping (contour-length bound), but no longer a full aerial
+	// field per call; the budget is sized for the test feature's contour,
+	// far below per-pixel churn.
+	s := NewSimulator(testConfig())
+	mask := maskWithRect(s.Grid(), geom.Rect{Min: geom.P(874, 874), Max: geom.P(1174, 1174)})
+	s.Contours(mask)
+	const contourAllocBudget = 2500
+	if n := testing.AllocsPerRun(5, func() { s.Contours(mask) }); n > contourAllocBudget {
+		t.Errorf("Contours allocates %.0f objects/op, budget %d", n, contourAllocBudget)
+	}
+}
+
 // BenchmarkAerialAll512 exercises the full default-resolution process
 // window — three corners over one mask spectrum, dose-only corners sharing
 // the nominal kernel set and all corners running concurrently. Part of the

@@ -1,0 +1,172 @@
+package litho
+
+import (
+	"testing"
+
+	"cardopc/internal/fft"
+	"cardopc/internal/geom"
+	"cardopc/internal/raster"
+)
+
+// batchMasks rasterises b distinct rectangles so every batch member has
+// a different spectrum.
+func batchMasks(g raster.Grid, b int) []*raster.Field {
+	masks := make([]*raster.Field, b)
+	for i := range masks {
+		off := float64(i * 120)
+		masks[i] = maskWithRect(g, geom.Rect{
+			Min: geom.P(600+off, 700),
+			Max: geom.P(900+off, 1300),
+		})
+	}
+	return masks
+}
+
+func TestBatchAerialMatchesSequential(t *testing.T) {
+	// BatchAerialInto must be bit-identical — not merely close — to
+	// sequential AerialFromFreqInto calls, for every batch size 1–4.
+	s := NewSimulator(testConfig())
+	for b := 1; b <= 4; b++ {
+		masks := batchMasks(s.Grid(), b)
+		mfs := make([]*fft.Grid2, b)
+		want := make([]*raster.Field, b)
+		got := make([]*raster.Field, b)
+		for i, mask := range masks {
+			mfs[i] = MaskFreq(mask)
+			want[i] = s.AerialFromFreq(mfs[i])
+			got[i] = raster.NewField(s.Grid())
+		}
+		s.BatchAerialInto(got, mfs)
+		for i := range masks {
+			for px, v := range got[i].Data {
+				if v != want[i].Data[px] {
+					t.Fatalf("batch %d member %d: pixel %d = %v, sequential %v", b, i, px, v, want[i].Data[px])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestBatchAerialSharedSpectrum(t *testing.T) {
+	// Adjacent repeats of one spectrum pointer share a convolution and
+	// still reproduce the sequential result bit-exactly.
+	s := NewSimulator(testConfig())
+	mask := maskWithRect(s.Grid(), geom.Rect{Min: geom.P(874, 874), Max: geom.P(1174, 1174)})
+	mf := MaskFreq(mask)
+	want := s.AerialFromFreq(mf)
+	outs := []*raster.Field{raster.NewField(s.Grid()), raster.NewField(s.Grid()), raster.NewField(s.Grid())}
+	s.BatchAerialInto(outs, []*fft.Grid2{mf, mf, mf})
+	for m, out := range outs {
+		for px, v := range out.Data {
+			if v != want.Data[px] {
+				t.Fatalf("member %d pixel %d = %v, want %v", m, px, v, want.Data[px])
+			}
+		}
+	}
+}
+
+func TestBatchAerialEmptyAndMismatch(t *testing.T) {
+	s := NewSimulator(testConfig())
+	s.BatchAerialInto(nil, nil) // no-op
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched outs/mfs lengths did not panic")
+		}
+	}()
+	s.BatchAerialInto([]*raster.Field{raster.NewField(s.Grid())}, nil)
+}
+
+func TestBatchAerialAllMatchesAerialAll(t *testing.T) {
+	// The cross-mask batched process path reproduces per-mask AerialAll
+	// bit-exactly for batch sizes 1–4.
+	p := NewProcess(testConfig(), DefaultCorners())
+	for b := 1; b <= 4; b++ {
+		masks := batchMasks(p.Nominal.Grid(), b)
+		noms, inners, outers := p.BatchAerialAll(masks)
+		for i, mask := range masks {
+			nom, inner, outer := p.AerialAll(mask)
+			for _, pair := range []struct {
+				name      string
+				got, want *raster.Field
+			}{
+				{"nominal", noms[i], nom},
+				{"inner", inners[i], inner},
+				{"outer", outers[i], outer},
+			} {
+				for px, v := range pair.got.Data {
+					if v != pair.want.Data[px] {
+						t.Fatalf("batch %d mask %d %s corner: pixel %d = %v, want %v",
+							b, i, pair.name, px, v, pair.want.Data[px])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchPrintedAllMatchesPrintedAll(t *testing.T) {
+	p := NewProcess(testConfig(), DefaultCorners())
+	masks := batchMasks(p.Nominal.Grid(), 2)
+	noms, inners, outers := p.BatchPrintedAll(masks)
+	for i, mask := range masks {
+		nom, inner, outer := p.PrintedAll(mask)
+		if noms[i].Count() != nom.Count() || inners[i].Count() != inner.Count() || outers[i].Count() != outer.Count() {
+			t.Errorf("mask %d: batched print counts (%d, %d, %d) != sequential (%d, %d, %d)",
+				i, noms[i].Count(), inners[i].Count(), outers[i].Count(),
+				nom.Count(), inner.Count(), outer.Count())
+		}
+	}
+}
+
+func TestKernelGroups(t *testing.T) {
+	// Default corners: outer shares the nominal kernels (dose-only), the
+	// defocused inner corner builds its own set.
+	p := NewProcess(testConfig(), DefaultCorners())
+	groups := kernelGroups([]*Simulator{p.Nominal, p.Inner, p.Outer})
+	if len(groups) != 2 || len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 2 || groups[1][0] != 1 {
+		t.Errorf("default-corner groups = %v, want [[0 2] [1]]", groups)
+	}
+	// Zero-defocus corners collapse to one group.
+	p2 := NewProcess(testConfig(), CornerSpec{DoseDelta: 0.02})
+	groups = kernelGroups([]*Simulator{p2.Nominal, p2.Inner, p2.Outer})
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Errorf("dose-only groups = %v, want [[0 1 2]]", groups)
+	}
+}
+
+// BenchmarkMaskFreqReal measures the real-input mask transform — the
+// front of every imaging call, retargeted from the full complex FFT at
+// the half-spectrum path. Part of the tracked set gated by cmd/benchdiff.
+func BenchmarkMaskFreqReal(b *testing.B) {
+	cfg := DefaultConfig()
+	g := raster.Grid{Size: cfg.GridSize, Pitch: cfg.PitchNM}
+	mask := maskWithRect(g, geom.Rect{Min: geom.P(874, 874), Max: geom.P(1474, 1474)})
+	mf := fft.GetGrid(mask.Size, mask.Size)
+	defer fft.PutGrid(mf)
+	MaskFreqInto(mf, mask)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaskFreqInto(mf, mask)
+	}
+}
+
+// BenchmarkBatchAerial4 sweeps the SOCS kernel set once over four
+// distinct 256 px spectra — the amortisation the server's clip batcher
+// leans on. Compare against 4× BenchmarkAerial256. Part of the tracked
+// set gated by cmd/benchdiff.
+func BenchmarkBatchAerial4(b *testing.B) {
+	s := NewSimulator(testConfig())
+	masks := batchMasks(s.Grid(), 4)
+	mfs := make([]*fft.Grid2, len(masks))
+	outs := make([]*raster.Field, len(masks))
+	for i, mask := range masks {
+		mfs[i] = MaskFreq(mask)
+		outs[i] = raster.NewField(s.Grid())
+	}
+	s.BatchAerialInto(outs, mfs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BatchAerialInto(outs, mfs)
+	}
+}

@@ -55,9 +55,7 @@ func (c *ProcessCache) Get(cfg Config, corners CornerSpec) *Process {
 // not the artifact. The ambient (zero) scope makes this identical to
 // Get.
 func (c *ProcessCache) GetScoped(sc obs.Scope, cfg Config, corners CornerSpec) *Process {
-	if cfg.Dose == 0 {
-		cfg.Dose = 1
-	}
+	cfg = cfg.WithDefaults()
 	key := processKey{cfg: cfg, corners: corners}
 	c.mu.Lock()
 	e, ok := c.procs[key]

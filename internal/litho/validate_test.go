@@ -29,6 +29,7 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{func(c *Config) { c.Threshold = 0 }, "Threshold"},
 		{func(c *Config) { c.Threshold = 1.5 }, "Threshold"},
 		{func(c *Config) { c.Dose = -0.1 }, "dose"},
+		{func(c *Config) { c.Dose = 0 }, "dose"},
 		{func(c *Config) { c.GridSize, c.PitchNM = 16, 1 }, "pupil"},
 	}
 	for i, tc := range cases {
@@ -42,5 +43,39 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("case %d: error %q does not mention %q", i, err, tc.want)
 		}
+	}
+}
+
+func TestWithDefaultsNormalisesDose(t *testing.T) {
+	// A zero dose means "not specified": WithDefaults rewrites it to the
+	// nominal 1 and the result validates; without normalisation the same
+	// config must fail Validate rather than image all-dark.
+	cfg := DefaultConfig()
+	cfg.Dose = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero-dose config passed Validate")
+	}
+	norm := cfg.WithDefaults()
+	if norm.Dose != 1 {
+		t.Errorf("WithDefaults dose = %v, want 1", norm.Dose)
+	}
+	if err := norm.Validate(); err != nil {
+		t.Errorf("normalised config invalid: %v", err)
+	}
+	// An explicit dose passes through untouched.
+	cfg.Dose = 0.97
+	if got := cfg.WithDefaults().Dose; got != 0.97 {
+		t.Errorf("WithDefaults rewrote explicit dose to %v", got)
+	}
+}
+
+func TestNewSimulatorAppliesDefaults(t *testing.T) {
+	// The zero-dose struct-literal idiom keeps working: NewSimulator
+	// normalises before validating.
+	cfg := testConfig()
+	cfg.Dose = 0
+	s := NewSimulator(cfg)
+	if s.Config().Dose != 1 {
+		t.Errorf("NewSimulator dose = %v, want 1", s.Config().Dose)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cardopc/internal/fft"
 	"cardopc/internal/geom"
 	"cardopc/internal/litho"
 	"cardopc/internal/metrics"
@@ -92,8 +93,10 @@ func Verify(proc *litho.Process, maskPolys, targets []geom.Polygon, cfg Config) 
 	span := obs.Start("orc.verify")
 	g := proc.Nominal.Grid()
 	mask := raster.Rasterize(g, maskPolys, 4)
-	mf := litho.MaskFreq(mask)
+	mf := fft.GetGrid(mask.Size, mask.Size)
+	litho.MaskFreqInto(mf, mask)
 	nomA, innerA, outerA := proc.AerialAllFromFreq(mf)
+	fft.PutGrid(mf)
 
 	var out []Defect
 	out = append(out, verifyCorner("nominal", nomA, proc.Nominal.Config().Threshold, targets, cfg)...)

@@ -29,8 +29,10 @@ type Tracked struct {
 }
 
 // TrackedSet returns the curated hot-path set, one entry per package:
-// FFT transforms (the litho inner loop), aerial image + adjoint gradient
-// (the OPC/ILT cost evaluation), raster fill and marching squares (mask
+// FFT transforms (the litho inner loop, complex and real-input), aerial
+// image + adjoint gradient (the OPC/ILT cost evaluation) plus the
+// half-spectrum mask transform and the four-mask batched kernel sweep,
+// raster fill and marching squares (mask
 // ↔ field conversion), R-tree build/search (MRC neighbour queries),
 // spline evaluation (control-point connection), MRC resolve, the
 // cardopc-vet driver cold vs warm-cache (the CI gate's own latency),
@@ -42,8 +44,8 @@ func TrackedSet() []Tracked {
 	return []Tracked{
 		{Pkg: "./internal/analysis", Pattern: "^(BenchmarkVetCold|BenchmarkVetWarm|BenchmarkVetDataflow|BenchmarkVetInterproc)$"},
 		{Pkg: "./internal/obs", Pattern: "^BenchmarkEmitScoped$"},
-		{Pkg: "./internal/fft", Pattern: "^(BenchmarkForward1024|BenchmarkForward2_256)$"},
-		{Pkg: "./internal/litho", Pattern: "^(BenchmarkAerial256|BenchmarkGradient256|BenchmarkAerialAll512)$"},
+		{Pkg: "./internal/fft", Pattern: "^(BenchmarkForward1024|BenchmarkForward2_256|BenchmarkRealForward2_256)$"},
+		{Pkg: "./internal/litho", Pattern: "^(BenchmarkAerial256|BenchmarkGradient256|BenchmarkAerialAll512|BenchmarkMaskFreqReal|BenchmarkBatchAerial4)$"},
 		{Pkg: "./internal/raster", Pattern: "^(BenchmarkFillPolygon|BenchmarkMarchingSquares)$"},
 		{Pkg: "./internal/rtree", Pattern: "^(BenchmarkSTRBuild1000|BenchmarkSearch1000)$"},
 		{Pkg: "./internal/spline", Pattern: "^BenchmarkLoopSample$"},

@@ -9,6 +9,7 @@ package pw
 import (
 	"math"
 
+	"cardopc/internal/fft"
 	"cardopc/internal/litho"
 	"cardopc/internal/raster"
 
@@ -74,7 +75,9 @@ func Analyze(base litho.Config, mask *raster.Field, cut Cut, targetCD float64, c
 		doses:    cfg.Doses,
 		defoci:   cfg.DefociNM,
 	}
-	mf := litho.MaskFreq(mask)
+	mf := fft.GetGrid(mask.Size, mask.Size)
+	litho.MaskFreqInto(mf, mask)
+	defer fft.PutGrid(mf)
 	for _, z := range cfg.DefociNM {
 		zCfg := base
 		zCfg.DefocusNM = z

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"sync"
+
+	"cardopc/internal/litho"
+	"cardopc/internal/obs"
+	"cardopc/internal/raster"
+)
+
+// aerialBatcher coalesces concurrent three-corner imaging requests that
+// share a *litho.Process into batched kernel sweeps
+// (litho.Process.BatchAerialAll): queued same-config clip jobs measured
+// by different executors walk the SOCS kernel grids once per batch
+// instead of once per job. The funnel is combining-leader style — the
+// first requester for a process becomes its leader and flushes pending
+// requests in batches until the queue drains; later requesters just
+// enqueue and wait. Results are bit-identical to solo AerialAll calls
+// (litho pins this), so coalescing is invisible to job output.
+type aerialBatcher struct {
+	// max bounds one sweep's batch size; longer queues flush in chunks.
+	max int
+	// run images one batch; swapped by tests to observe batch shapes.
+	run func(p *litho.Process, masks []*raster.Field) (noms, inners, outers []*raster.Field)
+
+	mu      sync.Mutex
+	pending map[*litho.Process][]*aerialReq
+	leading map[*litho.Process]bool
+}
+
+// aerialReq is one waiter: its mask going in, its three corner images
+// (or the batch's panic value) coming out, published before done closes.
+type aerialReq struct {
+	mask              *raster.Field
+	nom, inner, outer *raster.Field
+	panicVal          any
+	done              chan struct{}
+}
+
+func newAerialBatcher(max int) *aerialBatcher {
+	if max <= 0 {
+		max = 4
+	}
+	return &aerialBatcher{
+		max: max,
+		run: func(p *litho.Process, masks []*raster.Field) (noms, inners, outers []*raster.Field) {
+			return p.BatchAerialAll(masks)
+		},
+		pending: map[*litho.Process][]*aerialReq{},
+		leading: map[*litho.Process]bool{},
+	}
+}
+
+// aerialAll images mask through p's three corners, sharing a kernel
+// sweep with any concurrent requests for the same process. A nil
+// batcher degrades to the solo path. A panic in the underlying sweep
+// propagates to every waiter whose batch it poisoned.
+func (b *aerialBatcher) aerialAll(p *litho.Process, mask *raster.Field) (nom, inner, outer *raster.Field) {
+	if b == nil {
+		return p.AerialAll(mask)
+	}
+	req := &aerialReq{mask: mask, done: make(chan struct{})}
+	b.mu.Lock()
+	b.pending[p] = append(b.pending[p], req)
+	lead := !b.leading[p]
+	if lead {
+		b.leading[p] = true
+	}
+	b.mu.Unlock()
+	if lead {
+		b.flush(p)
+	} else {
+		obs.C("server.batch.coalesced").Inc()
+	}
+	<-req.done
+	if req.panicVal != nil {
+		panic(req.panicVal)
+	}
+	return req.nom, req.inner, req.outer
+}
+
+// flush drains p's queue in batches of at most b.max, then steps down as
+// leader. The leader's own request is served by one of these batches.
+func (b *aerialBatcher) flush(p *litho.Process) {
+	for {
+		b.mu.Lock()
+		q := b.pending[p]
+		if len(q) == 0 {
+			delete(b.pending, p)
+			delete(b.leading, p)
+			b.mu.Unlock()
+			return
+		}
+		n := min(len(q), b.max)
+		batch := q[:n:n]
+		b.pending[p] = q[n:]
+		b.mu.Unlock()
+		b.runBatch(p, batch)
+	}
+}
+
+// runBatch images one batch and publishes per-request results. A panic
+// is captured and handed to every request in the batch — the leader
+// keeps flushing later arrivals, so one poisoned batch cannot strand
+// the waiters behind it.
+func (b *aerialBatcher) runBatch(p *litho.Process, batch []*aerialReq) {
+	defer func() {
+		if r := recover(); r != nil {
+			for _, req := range batch {
+				req.panicVal = r
+				close(req.done)
+			}
+		}
+	}()
+	masks := make([]*raster.Field, len(batch))
+	for i, req := range batch {
+		masks[i] = req.mask
+	}
+	obs.C("server.batch.sweeps").Inc()
+	obs.H("server.batch.size").Observe(float64(len(batch)))
+	noms, inners, outers := b.run(p, masks)
+	for i, req := range batch {
+		req.nom, req.inner, req.outer = noms[i], inners[i], outers[i]
+		close(req.done)
+	}
+}
+
+// pendingLen reports p's queue depth (test hook).
+func (b *aerialBatcher) pendingLen(p *litho.Process) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending[p])
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cardopc/internal/geom"
+	"cardopc/internal/litho"
+	"cardopc/internal/raster"
+)
+
+// batchTestConfig is a small, fast imager (128 px @ 8 nm) for batcher
+// tests — kernel builds stay cheap.
+func batchTestConfig() litho.Config {
+	cfg := litho.DefaultConfig()
+	cfg.GridSize = 128
+	cfg.PitchNM = 8
+	return cfg
+}
+
+func batchTestMask(g raster.Grid, off float64) *raster.Field {
+	f := raster.NewField(g)
+	f.FillPolygon(geom.Rect{Min: geom.P(300+off, 300), Max: geom.P(600+off, 700)}.Poly(), 4)
+	f.Clamp01()
+	return f
+}
+
+func TestBatcherMatchesSolo(t *testing.T) {
+	// Concurrent batched requests return exactly what solo AerialAll
+	// returns for the same mask.
+	proc := litho.NewProcess(batchTestConfig(), litho.DefaultCorners())
+	b := newAerialBatcher(4)
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mask := batchTestMask(proc.Nominal.Grid(), float64(i*40))
+			nom, inner, outer := b.aerialAll(proc, mask)
+			wantNom, wantInner, wantOuter := proc.AerialAll(mask)
+			for _, pair := range []struct {
+				name      string
+				got, want *raster.Field
+			}{{"nominal", nom, wantNom}, {"inner", inner, wantInner}, {"outer", outer, wantOuter}} {
+				for px, v := range pair.got.Data {
+					if v != pair.want.Data[px] {
+						errs[i] = fmt.Errorf("request %d %s corner: pixel %d = %v, want %v", i, pair.name, px, v, pair.want.Data[px])
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// stubBatcher swaps run for a fake that records batch sizes and returns
+// the request masks as their own "images", so tests can see the funnel's
+// coalescing behaviour deterministically.
+func stubBatcher(max int) (*aerialBatcher, *[][]int, chan struct{}) {
+	b := newAerialBatcher(max)
+	var sizes [][]int
+	gate := make(chan struct{})
+	first := true
+	b.run = func(p *litho.Process, masks []*raster.Field) (noms, inners, outers []*raster.Field) {
+		if first {
+			first = false
+			<-gate // hold the leader's first sweep open
+		}
+		ids := make([]int, len(masks))
+		for i, m := range masks {
+			ids[i] = int(m.Data[0])
+		}
+		sizes = append(sizes, ids)
+		return masks, masks, masks
+	}
+	return b, &sizes, gate
+}
+
+func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
+	// While the leader's first sweep is in flight, later arrivals pile up
+	// and flush as one batch — served by the leader, in arrival order.
+	proc := &litho.Process{} // the stub never images; only the key matters
+	b, sizes, gate := stubBatcher(8)
+	g := raster.Grid{Size: 2, Pitch: 1}
+
+	mask := func(id int) *raster.Field {
+		f := raster.NewField(g)
+		f.Data[0] = float64(id)
+		return f
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		nom, _, _ := b.aerialAll(proc, mask(0))
+		if int(nom.Data[0]) != 0 {
+			t.Errorf("leader got image %v, want 0", nom.Data[0])
+		}
+	}()
+	// Wait for the leader to take its batch (queue drains to empty).
+	deadline := time.Now().Add(5 * time.Second)
+	for b.pendingLen(proc) != 0 || len(*sizes) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started its sweep")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Three followers enqueue behind the held sweep.
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nom, _, _ := b.aerialAll(proc, mask(i))
+			if int(nom.Data[0]) != i {
+				t.Errorf("follower %d got image %v", i, nom.Data[0])
+			}
+		}(i)
+	}
+	for b.pendingLen(proc) != 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("followers never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if len(*sizes) != 2 || len((*sizes)[0]) != 1 || len((*sizes)[1]) != 3 {
+		t.Fatalf("sweep batches = %v, want [[0] [1 2 3]]", *sizes)
+	}
+	if b.pendingLen(proc) != 0 {
+		t.Errorf("queue not drained: %d pending", b.pendingLen(proc))
+	}
+}
+
+func TestBatcherRespectsMaxBatch(t *testing.T) {
+	proc := &litho.Process{}
+	b, sizes, gate := stubBatcher(2)
+	g := raster.Grid{Size: 2, Pitch: 1}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.aerialAll(proc, raster.NewField(g))
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.pendingLen(proc) != 0 || len(*sizes) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.aerialAll(proc, raster.NewField(g))
+		}()
+	}
+	for b.pendingLen(proc) != 5 {
+		if time.Now().After(deadline) {
+			t.Fatal("followers never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	// First sweep holds the leader alone; the five queued flush as 2+2+1.
+	want := []int{1, 2, 2, 1}
+	if len(*sizes) != len(want) {
+		t.Fatalf("%d sweeps (%v), want sizes %v", len(*sizes), *sizes, want)
+	}
+	for i, ids := range *sizes {
+		if len(ids) != want[i] {
+			t.Fatalf("sweep %d has %d members (%v), want %d", i, len(ids), *sizes, want[i])
+		}
+	}
+}
+
+func TestBatcherPropagatesPanic(t *testing.T) {
+	// A poisoned sweep panics in every waiter of its batch; the funnel
+	// state stays clean for the next request.
+	proc := &litho.Process{}
+	b := newAerialBatcher(4)
+	calls := 0
+	b.run = func(p *litho.Process, masks []*raster.Field) (noms, inners, outers []*raster.Field) {
+		calls++
+		if calls == 1 {
+			panic("poisoned batch")
+		}
+		return masks, masks, masks
+	}
+	g := raster.Grid{Size: 2, Pitch: 1}
+	func() {
+		defer func() {
+			if r := recover(); r != "poisoned batch" {
+				t.Errorf("recovered %v, want the sweep's panic", r)
+			}
+		}()
+		b.aerialAll(proc, raster.NewField(g))
+	}()
+	// The batcher recovered its leadership bookkeeping: a fresh request
+	// elects a new leader and succeeds.
+	if nom, _, _ := b.aerialAll(proc, raster.NewField(g)); nom == nil {
+		t.Error("request after poisoned batch failed")
+	}
+	if b.pendingLen(proc) != 0 {
+		t.Errorf("queue not drained: %d pending", b.pendingLen(proc))
+	}
+}
+
+func TestNilBatcherFallsBack(t *testing.T) {
+	proc := litho.NewProcess(batchTestConfig(), litho.DefaultCorners())
+	mask := batchTestMask(proc.Nominal.Grid(), 0)
+	var b *aerialBatcher
+	nom, _, _ := b.aerialAll(proc, mask)
+	want, _, _ := proc.AerialAll(mask)
+	for px, v := range nom.Data {
+		if v != want.Data[px] {
+			t.Fatalf("pixel %d = %v, want %v", px, v, want.Data[px])
+		}
+	}
+}
+
+func TestLithoConfigNormalisedAndValid(t *testing.T) {
+	// The server's spec decoder applies the zero-means-default dose
+	// contract explicitly: the resolved config carries Dose 1 and passes
+	// the strict Validate (which rejects a literal zero dose).
+	lcfg := lithoConfig(JobSpec{Kind: "clip", Grid: 256, PitchNM: 8}, 4)
+	if lcfg.Dose != 1 {
+		t.Errorf("resolved dose = %v, want 1", lcfg.Dose)
+	}
+	if err := lcfg.Validate(); err != nil {
+		t.Errorf("resolved config invalid: %v", err)
+	}
+}

@@ -51,6 +51,9 @@ type Config struct {
 	// MaxJobs caps the tracked-job table; the oldest finished jobs are
 	// evicted beyond it (default 1024).
 	MaxJobs int
+	// MaxAerialBatch bounds how many concurrent same-config clip
+	// measurements coalesce into one batched kernel sweep (default 4).
+	MaxAerialBatch int
 }
 
 // withDefaults fills the zero fields.
@@ -70,6 +73,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
+	if c.MaxAerialBatch <= 0 {
+		c.MaxAerialBatch = 4
+	}
 	return c
 }
 
@@ -80,6 +86,7 @@ type Server struct {
 	mux   *http.ServeMux
 	queue *jobQueue
 	procs *litho.ProcessCache
+	batch *aerialBatcher
 	hub   *eventHub
 	state *obs.State
 
@@ -102,6 +109,7 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		queue:   newJobQueue(cfg.QueueDepth),
 		procs:   litho.NewProcessCache(),
+		batch:   newAerialBatcher(cfg.MaxAerialBatch),
 		hub:     newEventHub(),
 		jobs:    map[string]*Job{},
 		started: time.Now(),
